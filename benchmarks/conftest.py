@@ -1,0 +1,60 @@
+"""Shared helpers for the experiment benchmarks (E1-E14 in DESIGN.md).
+
+Each benchmark module reproduces one qualitative claim of the paper and
+prints a small table of the series it measured; EXPERIMENTS.md records
+the observed numbers against the paper's stated expectations.
+"""
+
+import time
+
+import pytest
+
+from repro import Database
+from repro.bench.schemas import build_vehicle_schema, populate_vehicles
+
+
+def timed(fn, *args, **kwargs):
+    """(seconds, result) for one call."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - start, result
+
+
+def best_of(fn, *args, repeats=3, **kwargs):
+    """(best seconds, result) over ``repeats`` calls — robust to GC noise."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        elapsed, result = timed(fn, *args, **kwargs)
+        best = min(best, elapsed)
+    return best, result
+
+
+def print_table(title, headers, rows):
+    """Render a small aligned table to stdout (visible with -s)."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows)) if rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print("\n== %s ==" % title)
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture
+def vehicle_db_2k():
+    db = Database()
+    build_vehicle_schema(db)
+    populate_vehicles(db, n_vehicles=2000, n_companies=40, seed=1990)
+    return db
+
+
+@pytest.fixture
+def vehicle_db_small():
+    db = Database()
+    build_vehicle_schema(db)
+    populate_vehicles(db, n_vehicles=400, n_companies=16, seed=1990)
+    return db

@@ -1,0 +1,107 @@
+"""E2: one class-hierarchy index vs. a forest of single-class indexes.
+
+Section 3.2: "it makes sense to maintain one index on the attribute for
+all the classes in the class hierarchy rooted at the target class."  The
+relational technique needs one index per class and a probe-and-union at
+query time; the class-hierarchy index answers any sub-scope with one
+probe.
+"""
+
+import pytest
+from conftest import print_table, timed
+
+from repro import Database
+from repro.bench.schemas import (
+    VEHICLE_CLASSES,
+    build_vehicle_schema,
+    populate_vehicles,
+)
+
+
+def make_db(n):
+    db = Database()
+    build_vehicle_schema(db)
+    populate_vehicles(db, n_vehicles=n, n_companies=20, seed=2)
+    return db
+
+
+def hierarchy_lookup(index, weight, scope):
+    return index.lookup_eq(weight, scope)
+
+
+def forest_lookup(indexes, weight):
+    out = []
+    for index in indexes:
+        out.extend(index.lookup_eq(weight))
+    return sorted(set(out))
+
+
+@pytest.fixture(scope="module")
+def setup():
+    db = make_db(4000)
+    ch_index = db.create_hierarchy_index("Vehicle", "weight")
+    forest = [db.create_class_index(cls, "weight") for cls in VEHICLE_CLASSES]
+    scope = set(db.schema.hierarchy_of("Vehicle"))
+    weights = sorted(
+        {s.values["weight"] for s in db.storage.scan_class("Truck")}
+    )[:50]
+    return db, ch_index, forest, scope, weights
+
+
+def test_equivalent_answers(setup):
+    _db, ch_index, forest, scope, weights = setup
+    for weight in weights:
+        assert hierarchy_lookup(ch_index, weight, scope) == forest_lookup(forest, weight)
+
+
+def test_ch_index_probe(setup, benchmark):
+    _db, ch_index, _forest, scope, weights = setup
+    benchmark(lambda: [hierarchy_lookup(ch_index, w, scope) for w in weights])
+
+
+def test_index_forest_probe(setup, benchmark):
+    _db, _ch_index, forest, _scope, weights = setup
+    benchmark(lambda: [forest_lookup(forest, w) for w in weights])
+
+
+def test_structure_count_and_summary(setup):
+    db, ch_index, forest, scope, weights = setup
+    t_ch, _ = timed(lambda: [hierarchy_lookup(ch_index, w, scope) for w in weights])
+    t_forest, _ = timed(lambda: [forest_lookup(forest, w) for w in weights])
+    print_table(
+        "E2: hierarchy-scoped equality probes (%d keys, %d vehicles)"
+        % (len(weights), db.count("Vehicle")),
+        ("structure", "indexes", "entries", "ms"),
+        [
+            ("class-hierarchy index", 1, len(ch_index), round(t_ch * 1e3, 2)),
+            (
+                "single-class forest",
+                len(forest),
+                sum(len(i) for i in forest),
+                round(t_forest * 1e3, 2),
+            ),
+        ],
+    )
+    # The forest needs 4 structures for the same entries.
+    assert len(forest) == len(VEHICLE_CLASSES)
+    assert sum(len(i) for i in forest) == len(ch_index)
+
+
+def test_subscope_filtering_beats_forest_subset(setup):
+    """Probing a sub-hierarchy (Automobile + DomesticAutomobile): the CH
+    index filters one tree; the forest must pick the right subset of
+    structures — and a *mis-scoped* forest query silently returns wrong
+    extents, which is the operational pitfall [KIM89b] calls out."""
+    db, ch_index, forest, _scope, weights = setup
+    sub_scope = set(db.schema.hierarchy_of("Automobile"))
+    for weight in weights[:10]:
+        via_ch = ch_index.lookup_eq(weight, sub_scope)
+        via_subset = sorted(
+            set(
+                oid
+                for index in forest
+                if index.target_class in sub_scope
+                for oid in index.lookup_eq(weight)
+            )
+        )
+        assert via_ch == via_subset

@@ -1,0 +1,138 @@
+"""E8: class-hierarchy granularity locking [GARZ88].
+
+Two claims: (a) a class-wide operation under granular locking takes one
+class lock instead of N object locks; (b) intention modes still allow
+object-level writers to run concurrently.  Lock-acquisition counts and
+conflict outcomes are reported alongside wall-clock costs.
+"""
+
+import threading
+
+import pytest
+from conftest import print_table, timed
+
+from repro import AttributeDef, Database
+from repro.errors import LockTimeoutError
+from repro.txn.locks import IX, S, X, LockManager, class_resource, object_resource
+
+N_OBJECTS = 2000
+
+
+@pytest.fixture(scope="module")
+def part_db():
+    db = Database()
+    db.define_class("Part", attributes=[AttributeDef("n", "Integer")])
+    oids = [db.new("Part", {"n": position}).oid for position in range(N_OBJECTS)]
+    return db, oids
+
+
+def class_level_scan(locks, oids, txn_id):
+    locks.acquire(txn_id, ("database", None), "IS")
+    locks.acquire(txn_id, class_resource("Part"), S)
+    locks.release_all(txn_id)
+
+
+def object_level_scan(locks, oids, txn_id):
+    locks.acquire(txn_id, ("database", None), "IS")
+    locks.acquire(txn_id, class_resource("Part"), "IS")
+    for oid in oids:
+        locks.acquire(txn_id, object_resource(oid), S)
+    locks.release_all(txn_id)
+
+
+def test_class_granularity_scan_locking(part_db, benchmark):
+    _db, oids = part_db
+    locks = LockManager()
+    benchmark(lambda: class_level_scan(locks, oids, 1))
+
+
+def test_object_granularity_scan_locking(part_db, benchmark):
+    _db, oids = part_db
+    locks = LockManager()
+    benchmark(lambda: object_level_scan(locks, oids, 1))
+
+
+def test_lock_count_summary(part_db):
+    _db, oids = part_db
+    coarse = LockManager()
+    t_coarse, _ = timed(class_level_scan, coarse, oids, 1)
+    fine = LockManager()
+    t_fine, _ = timed(object_level_scan, fine, oids, 1)
+    print_table(
+        "E8a: locks acquired for a %d-object class scan" % N_OBJECTS,
+        ("granularity", "acquisitions", "ms"),
+        [
+            ("class-level (S on class)", coarse.stats.acquisitions, round(t_coarse * 1e3, 3)),
+            ("object-level (S per object)", fine.stats.acquisitions, round(t_fine * 1e3, 3)),
+        ],
+    )
+    assert coarse.stats.acquisitions == 2
+    assert fine.stats.acquisitions == N_OBJECTS + 2
+    assert t_coarse < t_fine
+
+
+def test_intention_modes_allow_concurrent_writers(part_db):
+    """Two object writers coexist (IX at class); a class scanner blocks."""
+    _db, oids = part_db
+    locks = LockManager()
+    locks.acquire(1, class_resource("Part"), IX)
+    locks.acquire(1, object_resource(oids[0]), X)
+    locks.acquire(2, class_resource("Part"), IX)  # compatible with IX
+    locks.acquire(2, object_resource(oids[1]), X)
+    with pytest.raises(LockTimeoutError):
+        locks.acquire(3, class_resource("Part"), S, timeout=0.05)
+    locks.release_all(1)
+    locks.release_all(2)
+    locks.acquire(3, class_resource("Part"), S)  # now grantable
+    locks.release_all(3)
+
+
+def test_lock_escalation_bounds_lock_table(part_db):
+    """Ablation: a txn touching many objects escalates to one class lock."""
+    db, oids = part_db
+    db.lock_escalation_threshold = 64
+    try:
+        with db.transaction() as txn:
+            for oid in oids[:500]:
+                db.update(oid, {"n": 1})
+            held = db.locks.locks_held(txn.txn_id)
+            object_locks = sum(1 for resource, _m in held if resource[0] == "object")
+            assert db.locks.holds(txn.txn_id, class_resource("Part"), X)
+            assert object_locks < 500
+            print_table(
+                "E8b: lock escalation (threshold 64, 500 object writes)",
+                ("metric", "value"),
+                [
+                    ("object locks held", object_locks),
+                    ("class lock", "X (escalated)"),
+                    ("total locks", len(held)),
+                ],
+            )
+            txn.abort()
+    finally:
+        db.lock_escalation_threshold = 256
+
+
+def test_concurrent_object_writers_throughput(part_db):
+    """Disjoint writers under hierarchy locking never conflict."""
+    db, oids = part_db
+    errors = []
+    done = []
+
+    def worker(start):
+        try:
+            with db.transaction():
+                for position in range(start, start + 50):
+                    db.update(oids[position], {"n": position * 10})
+            done.append(start)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(s,)) for s in (0, 50, 100, 150)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert not errors
+    assert len(done) == 4
+    assert db.locks.lock_count() == 0

@@ -1,0 +1,103 @@
+"""E7: the optimizer's index-vs-scan crossover.
+
+Section 2.2: declarative queries made the query optimizer necessary —
+it must "automatically arrive at an optimal plan ... such that the plan
+will make use of appropriate access methods available in the system."
+A selectivity sweep shows the planner probing the index for selective
+predicates and abandoning it for a scan as the predicate approaches the
+whole extent, with the chosen plan tracking the faster strategy.
+"""
+
+import pytest
+from conftest import print_table, timed
+
+from repro import AttributeDef, Database
+from repro.bench.workloads import selectivity_values
+from repro.query.ast import Comparison, Const, Path, Query
+from repro.query.planner import ExtentScan, IndexEqProbe
+
+N = 5000
+#: distinct-count sweep: key k of "distinct d" matches N/d rows.
+DISTINCTS = (2500, 500, 50, 10, 2, 1)
+
+
+@pytest.fixture(scope="module")
+def sweep_db():
+    db = Database(use_locks=False)
+    db.define_class("Row", attributes=[
+        AttributeDef("bucket_%d" % d, "Integer") for d in DISTINCTS
+    ])
+    columns = {d: selectivity_values(N, d, seed=d) for d in DISTINCTS}
+    for position in range(N):
+        db.new(
+            "Row",
+            {"bucket_%d" % d: columns[d][position] for d in DISTINCTS},
+        )
+    for d in DISTINCTS:
+        db.create_hierarchy_index("Row", "bucket_%d" % d)
+    return db
+
+
+def query_for(distinct):
+    return Query(
+        "Row",
+        where=Comparison("=", Path(("bucket_%d" % distinct,)), Const(0)),
+    )
+
+
+def test_selective_query_uses_index(sweep_db, benchmark):
+    plan = sweep_db.plan(query_for(2500))
+    assert isinstance(plan.access, IndexEqProbe)
+    benchmark(lambda: sweep_db.execute(query_for(2500)))
+
+
+def test_unselective_query_uses_scan(sweep_db, benchmark):
+    plan = sweep_db.plan(query_for(1))
+    assert isinstance(plan.access, ExtentScan)
+    benchmark(lambda: sweep_db.execute(query_for(1)))
+
+
+def test_crossover_summary(sweep_db):
+    rows = []
+    saw_index = saw_scan = False
+    for distinct in DISTINCTS:
+        query = query_for(distinct)
+        plan = sweep_db.plan(query)
+        chosen_is_index = isinstance(plan.access, IndexEqProbe)
+        saw_index |= chosen_is_index
+        saw_scan |= not chosen_is_index
+        t_chosen, result = timed(sweep_db.execute, query)
+
+        # Force the other strategy for comparison.
+        if chosen_is_index:
+            forced = Query("Row", where=query.where)
+            forced_plan = sweep_db.planner.plan(forced)
+            forced_plan.access = ExtentScan(sorted(forced_plan.scope))
+            forced_plan.residual = forced.where
+            t_other, _ = timed(sweep_db._executor.execute, forced_plan)
+        else:
+            index = sweep_db.indexes.find_index(
+                "Row", query.where.path.steps, {"Row"}
+            )
+            forced_plan = sweep_db.planner.plan(query)
+            forced_plan.access = IndexEqProbe(index, 0)
+            t_other, _ = timed(sweep_db._executor.execute, forced_plan)
+
+        selectivity = len(result.oids) / N
+        rows.append(
+            (
+                "%.2f%%" % (selectivity * 100),
+                "index" if chosen_is_index else "scan",
+                round(t_chosen * 1e3, 2),
+                round(t_other * 1e3, 2),
+                "yes" if t_chosen <= t_other * 1.5 else "NO",
+            )
+        )
+    print_table(
+        "E7: plan choice across selectivities (N=%d)" % N,
+        ("selectivity", "chosen", "chosen ms", "forced-other ms", "chose well"),
+        rows,
+    )
+    assert saw_index and saw_scan, "sweep must cross the index/scan boundary"
+    # The chosen plan should essentially never lose badly.
+    assert all(row[4] == "yes" for row in rows)

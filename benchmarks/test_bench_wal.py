@@ -1,0 +1,116 @@
+"""E13: durability cost and recovery correctness.
+
+Commit throughput across durability settings (in-memory log, file log
+without fsync, file log with fsync-on-commit), plus a measured crash
+recovery replaying committed work and discarding losers.
+"""
+
+import os
+
+import pytest
+from conftest import print_table, timed
+
+from repro import AttributeDef, Database
+
+BATCH = 100
+
+
+def insert_batch(db, count=BATCH, offset=0):
+    with db.transaction():
+        for position in range(count):
+            db.new("Entry", {"n": offset + position})
+
+
+def make_db(tmp_path, name, sync):
+    path = str(tmp_path / name) if name else None
+    db = Database(path, sync_on_commit=sync)
+    db.define_class("Entry", attributes=[AttributeDef("n", "Integer")])
+    return db
+
+
+def test_commit_memory_log(tmp_path, benchmark):
+    db = make_db(tmp_path, None, sync=False)
+    counter = [0]
+
+    def run():
+        insert_batch(db, offset=counter[0])
+        counter[0] += BATCH
+
+    benchmark(run)
+
+
+def test_commit_file_log_nosync(tmp_path, benchmark):
+    db = make_db(tmp_path, "nosync.pages", sync=False)
+    counter = [0]
+
+    def run():
+        insert_batch(db, offset=counter[0])
+        counter[0] += BATCH
+
+    benchmark(run)
+    db.close()
+
+
+def test_commit_file_log_fsync(tmp_path, benchmark):
+    db = make_db(tmp_path, "sync.pages", sync=True)
+    counter = [0]
+
+    def run():
+        insert_batch(db, offset=counter[0])
+        counter[0] += BATCH
+
+    benchmark(run)
+    db.close()
+
+
+def test_durability_cost_summary(tmp_path):
+    rows = []
+    times = {}
+    for label, name, sync in (
+        ("memory log", None, False),
+        ("file log, no fsync", "a.pages", False),
+        ("file log, fsync on commit", "b.pages", True),
+    ):
+        db = make_db(tmp_path, name, sync)
+        t, _ = timed(lambda: [insert_batch(db, 20, offset=i * 20) for i in range(5)])
+        times[label] = t
+        rows.append((label, round(t * 1e3, 2)))
+        if name:
+            db.close()
+    print_table("E13a: 5 transactions x 20 inserts", ("configuration", "ms"), rows)
+    assert times["memory log"] <= times["file log, fsync on commit"] * 1.5
+
+
+def test_recovery_time_and_correctness(tmp_path):
+    path = str(tmp_path / "crashme.pages")
+    db = Database(path, sync_on_commit=False)
+    db.define_class("Entry", attributes=[AttributeDef("n", "Integer")])
+    db.checkpoint()
+    for batch in range(5):
+        insert_batch(db, 50, offset=batch * 50)
+    committed = db.count("Entry")
+    txn = db.transaction()
+    for position in range(25):
+        db.new("Entry", {"n": 10_000 + position})
+    # Crash with an open transaction: close files without checkpoint.
+    db.storage.buffer.flush_all()
+    db.storage.save_metadata()
+    db.storage.pager.close()
+    db.wal.close()
+    del txn
+
+    t_recover, reopened = timed(Database, path)
+    survived = reopened.count("Entry")
+    print_table(
+        "E13b: crash recovery",
+        ("metric", "value"),
+        [
+            ("committed before crash", committed),
+            ("uncommitted in-flight", 25),
+            ("entries after recovery", survived),
+            ("recovery ms", round(t_recover * 1e3, 1)),
+            ("wal bytes", os.path.getsize(path + ".wal")),
+        ],
+    )
+    assert survived == committed
+    reopened.close()

@@ -1,0 +1,101 @@
+"""A complete kimdb DL session: DDL + DML + DCL in one script.
+
+The paper's Section 3.1 requires the three database sublanguages; this
+example drives all of them through the statement interpreter, plus the
+schema-browsing tools of Section 5.1.
+
+Run:  python examples/dl_session.py
+"""
+
+from repro import Database
+from repro.authz import attach as attach_authz
+from repro.lang import Interpreter
+from repro.semantics import attach_roles, attach_temporal
+from repro.tools import IndexAdvisor, catalog_report, class_tree, describe_class
+from repro.views import attach as attach_views
+
+
+def main() -> None:
+    db = Database()
+    attach_views(db)
+    authz = attach_authz(db)
+    attach_temporal(db)
+    interp = Interpreter(db)
+
+    # -- DDL: the schema in statement form ---------------------------------
+    interp.run_script(
+        """
+        CREATE CLASS Company (name String REQUIRED, location String);
+        CREATE CLASS AutoCompany UNDER Company;
+        CREATE CLASS Vehicle (
+            weight Integer,
+            color String DEFAULT 'white',
+            manufacturer Company
+        );
+        CREATE CLASS Truck UNDER Vehicle (payload Integer);
+        CREATE INDEX ON Vehicle(weight);
+        CREATE INDEX ON Vehicle(manufacturer.location);
+        """
+    )
+
+    # -- DML --------------------------------------------------------------
+    gm = interp.execute("INSERT INTO Company SET name = 'GM', location = 'Detroit'").value
+    interp.execute("INSERT INTO AutoCompany SET name = 'Toyota', location = 'Nagoya'")
+    for weight in (3000, 8200, 9100):
+        interp.execute(
+            "INSERT INTO Vehicle SET weight = %d, manufacturer = @%d"
+            % (weight, gm.oid.value)
+        )
+    result = interp.execute(
+        "SELECT v FROM Vehicle v "
+        "WHERE v.weight > 7500 AND v.manufacturer.location = 'Detroit'"
+    )
+    print("heavy Detroit vehicles:", result.detail)
+
+    print(interp.execute(
+        "SELECT v.color, COUNT(v), AVG(v.weight) FROM Vehicle v GROUP BY v.color"
+    ).value)
+
+    # -- DCL ----------------------------------------------------------------
+    interp.execute("BEGIN")
+    interp.execute("UPDATE Vehicle SET color = 'red' WHERE weight > 8000")
+    interp.execute("ROLLBACK")
+    print("reds after rollback:",
+          interp.execute("SELECT COUNT(v) FROM Vehicle v WHERE v.color = 'red'").value)
+
+    authz.add_role("clerk")
+    interp.execute("GRANT read ON Vehicle TO clerk")
+    with authz.as_subject("clerk"):
+        print("clerk can read vehicles:",
+              interp.execute("SELECT COUNT(v) FROM Vehicle v").value)
+
+    # -- time travel -----------------------------------------------------------
+    before = db.temporal.now
+    interp.execute("UPDATE Vehicle SET color = 'blue' WHERE weight = 3000")
+    light = interp.execute("SELECT v FROM Vehicle v WHERE v.weight = 3000").value[0]
+    print("color now: %s, color before: %s" % (
+        light["color"],
+        db.temporal.value_as_of(light.oid, "color", before),
+    ))
+
+    # -- roles --------------------------------------------------------------------
+    roles = attach_roles(db)
+    from repro import AttributeDef
+
+    roles.define_role("FleetVehicle", "Vehicle", [AttributeDef("fleet_no", "Integer")])
+    roles.add_role(light.oid, "FleetVehicle", {"fleet_no": 7})
+    print("fleet roles:", roles.roles_of(light.oid),
+          "fleet_no:", roles.get(light.oid, "FleetVehicle", "fleet_no"))
+
+    # -- the Section 5.1 tools -------------------------------------------------
+    print("\n" + class_tree(db))
+    print("\n" + describe_class(db, "Truck"))
+    advisor = IndexAdvisor(db)
+    for _ in range(3):
+        advisor.observe("SELECT v FROM Vehicle v WHERE v.color = 'blue'")
+    print("\n" + advisor.report(min_hits=2))
+    print("\n" + catalog_report(db))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Section 5.2's migration scenario, end to end.
+
+"Suppose that an Employee database is managed by a relational database
+system, a Product database is managed by a hierarchical database system,
+and a Company database is managed by an object-oriented database system."
+
+One federation presents all three under the common object-oriented data
+model; OSQL shows the same SQL text running against a relational table
+today and an object class tomorrow.
+
+Run:  python examples/multidatabase_migration.py
+"""
+
+from repro import AttributeDef, Database
+from repro.multidb import (
+    Federation,
+    HierarchicalAdapter,
+    HierarchicalDatabase,
+    ObjectAdapter,
+    RelationalAdapter,
+    run_osql,
+    translate_sql,
+)
+from repro.relational import RelationalEngine
+
+
+def main() -> None:
+    # -- the legacy relational Employee database --------------------------
+    relational = RelationalEngine()
+    relational.create_table(
+        "Employee",
+        [("emp_id", "int"), ("name", "str"), ("company", "str")],
+        primary_key="emp_id",
+    )
+    for emp_id, name, company in [
+        (1, "alice", "GM"), (2, "bob", "GM"), (3, "carol", "Toyota"),
+    ]:
+        relational.insert("Employee", {"emp_id": emp_id, "name": name, "company": company})
+
+    # -- the legacy hierarchical Product database --------------------------
+    hierarchical = HierarchicalDatabase("products")
+    hierarchical.define_segment("ProductLine", ["line"])
+    hierarchical.define_segment("Product", ["sku", "price"], parent="ProductLine")
+    trucks = hierarchical.insert("ProductLine", {"line": "trucks"})
+    sedans = hierarchical.insert("ProductLine", {"line": "sedans"})
+    hierarchical.insert("Product", {"sku": "T-100", "price": 45000}, parent_id=trucks)
+    hierarchical.insert("Product", {"sku": "T-250", "price": 61000}, parent_id=trucks)
+    hierarchical.insert("Product", {"sku": "S-1", "price": 28000}, parent_id=sedans)
+
+    # -- the new object-oriented Company database ---------------------------
+    oodb = Database()
+    oodb.define_class(
+        "Company",
+        attributes=[
+            AttributeDef("name", "String", required=True),
+            AttributeDef("location", "String"),
+        ],
+    )
+    oodb.new("Company", {"name": "GM", "location": "Detroit"})
+    oodb.new("Company", {"name": "Toyota", "location": "Nagoya"})
+
+    # -- one common model over all three ------------------------------------
+    federation = Federation()
+    federation.register("relational", RelationalAdapter(relational))
+    federation.register("hierarchical", HierarchicalAdapter(hierarchical))
+    federation.register("objects", ObjectAdapter(oodb, ["Company"]))
+    print("virtual classes:", ", ".join(federation.class_names()))
+
+    print("\nGM employees (relational source):")
+    for row in federation.query("SELECT e FROM Employee e WHERE e.company = 'GM'"):
+        print("  ", row["name"])
+
+    print("\nTruck products over $50k (hierarchical source, parent path):")
+    for row in federation.query(
+        "SELECT p FROM Product p WHERE p.parent_id.line = 'trucks' AND p.price > 50000"
+    ):
+        print("  ", row["sku"], row["price"])
+
+    print("\nDetroit companies (object source):")
+    for row in federation.query("SELECT c FROM Company c WHERE c.location = 'Detroit'"):
+        print("  ", row["name"])
+
+    # -- OSQL: the SQL-compatible migration path ----------------------------
+    sql = "SELECT name FROM Company WHERE location = 'Detroit'"
+    translated = translate_sql(sql)
+    print("\nOSQL translation:")
+    print("  SQL:", sql)
+    print("  OQL:", translated.oql)
+    print("  against the OODB:", run_osql(oodb, sql))
+    print("  against the federation:", federation.query(translated.oql))
+
+
+if __name__ == "__main__":
+    main()

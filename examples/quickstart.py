@@ -1,0 +1,80 @@
+"""Quickstart: the Figure 1 schema and the paper's example query.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AttributeDef, Database, MethodDef
+
+
+def main() -> None:
+    # An ephemeral database; pass a path for a durable one.
+    db = Database()
+
+    # -- define the schema (class hierarchy + aggregation hierarchy) ----
+    db.define_class(
+        "Company",
+        attributes=[
+            AttributeDef("name", "String", required=True),
+            AttributeDef("location", "String"),
+        ],
+    )
+    db.define_class(
+        "Vehicle",
+        attributes=[
+            AttributeDef("weight", "Integer"),
+            AttributeDef("color", "String", default="white"),
+            AttributeDef("manufacturer", "Company"),
+        ],
+        methods=[
+            MethodDef(
+                "description",
+                lambda receiver: "%s vehicle, %d lbs"
+                % (receiver["color"], receiver["weight"]),
+            )
+        ],
+    )
+    db.define_class("Truck", superclasses=("Vehicle",),
+                    attributes=[AttributeDef("payload", "Integer")])
+
+    # -- create objects (references are OIDs) ----------------------------
+    gm = db.new("Company", {"name": "GM", "location": "Detroit"})
+    toyota = db.new("Company", {"name": "Toyota", "location": "Nagoya"})
+    db.new("Vehicle", {"weight": 3000, "manufacturer": toyota.oid})
+    db.new("Vehicle", {"weight": 8200, "color": "red", "manufacturer": gm.oid})
+    db.new("Truck", {"weight": 9100, "payload": 4000, "manufacturer": gm.oid})
+
+    # -- message passing with late binding --------------------------------
+    for handle in db.instances("Vehicle"):
+        print("%-7s %s" % (handle.class_name, handle.send("description")))
+
+    # -- the paper's example query (nested predicate + hierarchy scope) ---
+    heavy_detroit = db.select(
+        "SELECT v FROM Vehicle v "
+        "WHERE v.weight > 7500 AND v.manufacturer.location = 'Detroit'"
+    )
+    print("\nVehicles over 7500 lbs made in Detroit:")
+    for handle in heavy_detroit:
+        maker = handle.fetch("manufacturer")
+        print("  %r: %d lbs, made by %s" % (handle.oid, handle["weight"], maker["name"]))
+
+    # -- add an index and show the optimizer picking it -------------------
+    db.create_hierarchy_index("Vehicle", "weight")
+    plan = db.plan("SELECT v FROM Vehicle v WHERE v.weight > 7500")
+    print("\nPlan with a class-hierarchy index:")
+    print(plan.explain())
+
+    # -- transactions ------------------------------------------------------
+    with db.transaction():
+        db.new("Vehicle", {"weight": 100, "manufacturer": toyota.oid})
+    try:
+        with db.transaction():
+            doomed = db.new("Vehicle", {"weight": 1, "manufacturer": gm.oid})
+            raise RuntimeError("changed my mind")
+    except RuntimeError:
+        pass
+    print("\nRolled-back vehicle exists?", db.exists(doomed.oid))
+    print("Total vehicles:", db.count("Vehicle"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""kimdb — an object-oriented database system.
+
+A complete, from-scratch reproduction of the system described in Won
+Kim's *Research Directions in Object-Oriented Database Systems* (PODS
+1990): the core object-oriented data model (objects, classes, multiple
+inheritance, message passing with late binding), an OQL query language
+with class-hierarchy scoping and nested (path) predicates, class-
+hierarchy and nested-attribute indexes, a slotted-page storage engine
+with buffer management and physical clustering, ACID transactions with
+hierarchical locking and WAL recovery, long-duration checkout/checkin
+workspaces, pointer swizzling for memory-resident object management,
+versions with change notification, composite objects, schema evolution,
+authorization, views, deductive rules, abstract data types, and a
+multidatabase federation layer over relational and hierarchical
+baselines.
+
+Quickstart::
+
+    from repro import Database, AttributeDef
+
+    db = Database()
+    db.define_class("Company", attributes=[
+        AttributeDef("name", "String"), AttributeDef("location", "String"),
+    ])
+    db.define_class("Vehicle", attributes=[
+        AttributeDef("weight", "Integer"),
+        AttributeDef("manufacturer", "Company"),
+    ])
+    gm = db.new("Company", {"name": "GM", "location": "Detroit"})
+    db.new("Vehicle", {"weight": 8000, "manufacturer": gm.oid})
+    heavy = db.select(
+        "SELECT v FROM Vehicle v "
+        "WHERE v.weight > 7500 AND v.manufacturer.location = 'Detroit'"
+    )
+"""
+
+from .core.attribute import AttributeDef
+from .core.klass import ClassDef
+from .core.method import MethodDef, method
+from .core.obj import ObjectHandle, ObjectState
+from .core.oid import OID
+from .core.schema import Schema
+from .database import Database
+from .errors import KimDBError
+from .query.parser import parse_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttributeDef",
+    "ClassDef",
+    "MethodDef",
+    "method",
+    "ObjectHandle",
+    "ObjectState",
+    "OID",
+    "Schema",
+    "Database",
+    "KimDBError",
+    "parse_query",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Abstract data types: registry, operations, spatial access methods."""
+
+from .registry import AccessMethodProbe, AdtRegistry, AdtType, attach
+from .spatial import (
+    RECTANGLE_TYPE,
+    SpatialGridIndex,
+    is_rect,
+    make_rect,
+    rect_area,
+    rect_contains_point,
+    rect_overlaps,
+    rect_within,
+    register_rectangle_type,
+    register_spatial_index,
+)
+
+__all__ = [
+    "AccessMethodProbe",
+    "AdtRegistry",
+    "AdtType",
+    "attach",
+    "RECTANGLE_TYPE",
+    "SpatialGridIndex",
+    "is_rect",
+    "make_rect",
+    "rect_area",
+    "rect_contains_point",
+    "rect_overlaps",
+    "rect_within",
+    "register_rectangle_type",
+    "register_spatial_index",
+]

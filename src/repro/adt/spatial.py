@@ -1,0 +1,184 @@
+"""Rectangle ADT and spatial grid index for VLSI workloads.
+
+"Much of the past research into efficient implementation of abstract
+data types has been concerned with rectangular shapes in the context of
+VLSI layouts" [STON83, BANE86].  Rectangles are stored as
+``[x1, y1, x2, y2]`` lists (a storable value encoding); the grid index
+buckets rectangles into uniform cells and serves as the access method
+behind the ``overlaps`` predicate (experiment E14).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.oid import OID
+from ..errors import SchemaError
+from .registry import AccessMethodProbe, AdtRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..database import Database
+
+RECTANGLE_TYPE = "Rectangle"
+
+
+def make_rect(x1: float, y1: float, x2: float, y2: float) -> List[float]:
+    """Normalized rectangle value (corners sorted)."""
+    return [
+        float(min(x1, x2)),
+        float(min(y1, y2)),
+        float(max(x1, x2)),
+        float(max(y1, y2)),
+    ]
+
+
+def is_rect(value) -> bool:
+    return (
+        isinstance(value, list)
+        and len(value) == 4
+        and all(isinstance(c, (int, float)) and not isinstance(c, bool) for c in value)
+        and value[0] <= value[2]
+        and value[1] <= value[3]
+    )
+
+
+def rect_overlaps(rect: Sequence[float], x1: float, y1: float, x2: float, y2: float) -> bool:
+    qx1, qy1, qx2, qy2 = min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2)
+    return not (rect[2] < qx1 or rect[0] > qx2 or rect[3] < qy1 or rect[1] > qy2)
+
+
+def rect_contains_point(rect: Sequence[float], x: float, y: float) -> bool:
+    return rect[0] <= x <= rect[2] and rect[1] <= y <= rect[3]
+
+
+def rect_within(rect: Sequence[float], x1: float, y1: float, x2: float, y2: float) -> bool:
+    qx1, qy1, qx2, qy2 = min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2)
+    return rect[0] >= qx1 and rect[1] >= qy1 and rect[2] <= qx2 and rect[3] <= qy2
+
+
+def rect_area(rect: Sequence[float]) -> float:
+    return max(0.0, rect[2] - rect[0]) * max(0.0, rect[3] - rect[1])
+
+
+def register_rectangle_type(registry: AdtRegistry) -> None:
+    """Install the Rectangle ADT with its operations (idempotent-free)."""
+    registry.register_type(RECTANGLE_TYPE, is_rect)
+    registry.register_operation(RECTANGLE_TYPE, "overlaps", rect_overlaps)
+    registry.register_operation(RECTANGLE_TYPE, "contains_point", rect_contains_point)
+    registry.register_operation(RECTANGLE_TYPE, "within", rect_within)
+
+
+class SpatialGridIndex:
+    """Uniform grid over one rectangle-valued attribute of a class.
+
+    Maintained through database post-hooks; each rectangle is registered
+    in every grid cell it touches.  Queries collect the cells the search
+    window touches and return the union of their buckets (candidates —
+    the executor re-verifies exactly, as with every kimdb index).
+    """
+
+    def __init__(self, db: "Database", class_name: str, attribute: str, cell_size: float = 16.0) -> None:
+        if cell_size <= 0:
+            raise SchemaError("cell size must be positive")
+        attr = db.schema.attribute(class_name, attribute)
+        if attr.domain != RECTANGLE_TYPE:
+            raise SchemaError(
+                "attribute %s.%s has domain %s, expected %s"
+                % (class_name, attribute, attr.domain, RECTANGLE_TYPE)
+            )
+        self.db = db
+        self.class_name = class_name
+        self.attribute = attribute
+        self.cell_size = float(cell_size)
+        self._cells: Dict[Tuple[int, int], Set[OID]] = {}
+        self._rect_of: Dict[OID, List[float]] = {}
+        db.add_post_hook(self._post_hook)
+        self._build()
+
+    # -- cell math ------------------------------------------------------------
+
+    def _cells_for(self, rect: Sequence[float]):
+        cx1 = int(rect[0] // self.cell_size)
+        cy1 = int(rect[1] // self.cell_size)
+        cx2 = int(rect[2] // self.cell_size)
+        cy2 = int(rect[3] // self.cell_size)
+        for cx in range(cx1, cx2 + 1):
+            for cy in range(cy1, cy2 + 1):
+                yield (cx, cy)
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def _covers(self, class_name: str) -> bool:
+        return self.db.schema.is_subclass(class_name, self.class_name)
+
+    def _build(self) -> None:
+        for cls in self.db.schema.hierarchy_of(self.class_name):
+            for state in self.db.storage.scan_class(cls):
+                self._add(state.oid, state.values.get(self.attribute))
+
+    def _add(self, oid: OID, rect) -> None:
+        if not is_rect(rect):
+            return
+        self._rect_of[oid] = list(rect)
+        for cell in self._cells_for(rect):
+            self._cells.setdefault(cell, set()).add(oid)
+
+    def _remove(self, oid: OID) -> None:
+        rect = self._rect_of.pop(oid, None)
+        if rect is None:
+            return
+        for cell in self._cells_for(rect):
+            bucket = self._cells.get(cell)
+            if bucket is not None:
+                bucket.discard(oid)
+                if not bucket:
+                    del self._cells[cell]
+
+    def _post_hook(self, kind: str, old, new) -> None:
+        if kind == "insert" and self._covers(new.class_name):
+            self._add(new.oid, new.values.get(self.attribute))
+        elif kind == "update" and self._covers(new.class_name):
+            self._remove(old.oid)
+            self._add(new.oid, new.values.get(self.attribute))
+        elif kind == "delete" and self._covers(old.class_name):
+            self._remove(old.oid)
+
+    # -- probing ----------------------------------------------------------------------
+
+    def candidates(self, x1: float, y1: float, x2: float, y2: float) -> List[OID]:
+        window = make_rect(x1, y1, x2, y2)
+        out: Set[OID] = set()
+        for cell in self._cells_for(window):
+            out |= self._cells.get(cell, set())
+        return sorted(out)
+
+    def estimate(self, x1: float, y1: float, x2: float, y2: float) -> int:
+        window = make_rect(x1, y1, x2, y2)
+        return sum(len(self._cells.get(cell, ())) for cell in self._cells_for(window))
+
+    def __len__(self) -> int:
+        return len(self._rect_of)
+
+
+def register_spatial_index(
+    registry: AdtRegistry,
+    class_name: str,
+    attribute: str,
+    cell_size: float = 16.0,
+) -> SpatialGridIndex:
+    """Create a grid index and plug it into the planner for ``overlaps``."""
+    grid = SpatialGridIndex(registry.db, class_name, attribute, cell_size)
+
+    def provider(db, target_class, path, args):
+        if path != (attribute,) or len(args) != 4:
+            return None
+        if not db.schema.is_subclass(target_class, class_name):
+            return None
+        x1, y1, x2, y2 = args
+        return AccessMethodProbe(
+            grid.estimate(x1, y1, x2, y2),
+            lambda: grid.candidates(x1, y1, x2, y2),
+        )
+
+    registry.register_access_method("overlaps", provider)
+    return grid

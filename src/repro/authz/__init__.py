@@ -1,0 +1,13 @@
+"""Authorization: discretionary roles + mandatory multilevel security."""
+
+from .mandatory import DEFAULT_LEVELS, MandatorySecurityManager, attach_mandatory
+from .model import ACTIONS, AuthorizationManager, attach
+
+__all__ = [
+    "ACTIONS",
+    "AuthorizationManager",
+    "attach",
+    "DEFAULT_LEVELS",
+    "MandatorySecurityManager",
+    "attach_mandatory",
+]

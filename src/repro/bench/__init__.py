@@ -1,0 +1,25 @@
+"""Benchmark kit: Figure 1 fixture, OO1, workload generators."""
+
+from .oo1 import OO1Data, OO1KimDB, OO1Relational
+from .schemas import FIG1_QUERY, build_vehicle_schema, populate_vehicles
+from .workloads import (
+    build_assembly,
+    define_assembly_schema,
+    define_document_schema,
+    populate_documents,
+    selectivity_values,
+)
+
+__all__ = [
+    "OO1Data",
+    "OO1KimDB",
+    "OO1Relational",
+    "FIG1_QUERY",
+    "build_vehicle_schema",
+    "populate_vehicles",
+    "build_assembly",
+    "define_assembly_schema",
+    "define_document_schema",
+    "populate_documents",
+    "selectivity_values",
+]

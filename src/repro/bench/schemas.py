@@ -1,0 +1,140 @@
+"""The Figure 1 vehicle schema — the paper's canonical example.
+
+Reproduces the class hierarchy and aggregation hierarchy of Figure 1:
+``Vehicle`` (with ``Automobile``/``Truck`` subclasses and
+``DomesticAutomobile`` under ``Automobile``) aggregates a
+``VehicleDrivetrain`` and a ``Company`` manufacturer; ``Company``
+specializes into ``AutoCompany``/``TruckCompany`` with
+``JapaneseAutoCompany`` under ``AutoCompany``.
+
+The module also provides a deterministic population generator and the
+paper's example query ("Find all vehicles that weigh more than 7500 lbs,
+and that are manufactured by a company located in Detroit") as
+:data:`FIG1_QUERY` — experiment E1.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Dict, List
+
+from ..core.attribute import AttributeDef
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.oid import OID
+    from ..database import Database
+
+#: The example query of Section 3.2, in kimdb OQL.
+FIG1_QUERY = (
+    "SELECT v FROM Vehicle v "
+    "WHERE v.weight > 7500 AND v.manufacturer.location = 'Detroit'"
+)
+
+CITIES = ("Detroit", "Dearborn", "Tokyo", "Nagoya", "Austin", "Stuttgart")
+
+DRIVETRAIN_TYPES = ("manual", "automatic", "cvt")
+
+
+def build_vehicle_schema(db: "Database") -> None:
+    """Define the Figure 1 classes on ``db``."""
+    db.define_class(
+        "Company",
+        attributes=[
+            AttributeDef("name", "String", required=True),
+            AttributeDef("location", "String"),
+        ],
+        doc="A manufacturer (Figure 1).",
+    )
+    db.define_class("AutoCompany", superclasses=("Company",))
+    db.define_class("TruckCompany", superclasses=("Company",))
+    db.define_class("JapaneseAutoCompany", superclasses=("AutoCompany",))
+
+    db.define_class(
+        "VehicleDrivetrain",
+        attributes=[
+            AttributeDef("type", "String"),
+            AttributeDef("horsepower", "Integer"),
+        ],
+        doc="Aggregated part of Vehicle (Figure 1).",
+    )
+    db.define_class(
+        "Vehicle",
+        attributes=[
+            AttributeDef("weight", "Integer"),
+            AttributeDef("color", "String"),
+            AttributeDef("price", "Integer"),
+            AttributeDef("drivetrain", "VehicleDrivetrain", composite=True,
+                         exclusive=True, dependent=True),
+            AttributeDef("manufacturer", "Company"),
+        ],
+        doc="Root of the vehicle class hierarchy (Figure 1).",
+    )
+    db.define_class(
+        "Automobile",
+        superclasses=("Vehicle",),
+        attributes=[AttributeDef("doors", "Integer", default=4)],
+    )
+    db.define_class("DomesticAutomobile", superclasses=("Automobile",))
+    db.define_class(
+        "Truck",
+        superclasses=("Vehicle",),
+        attributes=[AttributeDef("payload", "Integer")],
+    )
+
+
+#: Round-robin mixture of concrete vehicle classes used by the generator.
+VEHICLE_CLASSES = ("Vehicle", "Automobile", "DomesticAutomobile", "Truck")
+
+
+def populate_vehicles(
+    db: "Database",
+    n_vehicles: int = 1000,
+    n_companies: int = 20,
+    seed: int = 1990,
+    detroit_fraction: float = 0.25,
+) -> Dict[str, List["OID"]]:
+    """Deterministically populate the Figure 1 schema.
+
+    Roughly ``detroit_fraction`` of the companies sit in Detroit; vehicle
+    weights are uniform in [1000, 12000] so the 7500-lb predicate selects
+    ~41% before the location conjunct.  Returns OIDs by class.
+    """
+    rng = random.Random(seed)
+    company_classes = ("Company", "AutoCompany", "TruckCompany", "JapaneseAutoCompany")
+    companies: List["OID"] = []
+    n_detroit = max(1, int(n_companies * detroit_fraction))
+    for position in range(n_companies):
+        cls = company_classes[position % len(company_classes)]
+        location = "Detroit" if position < n_detroit else CITIES[
+            1 + rng.randrange(len(CITIES) - 1)
+        ]
+        handle = db.new(
+            cls, {"name": "company-%d" % position, "location": location}
+        )
+        companies.append(handle.oid)
+
+    out: Dict[str, List["OID"]] = {cls: [] for cls in VEHICLE_CLASSES}
+    out["Company"] = companies
+    for position in range(n_vehicles):
+        cls = VEHICLE_CLASSES[position % len(VEHICLE_CLASSES)]
+        drivetrain = db.new(
+            "VehicleDrivetrain",
+            {
+                "type": DRIVETRAIN_TYPES[position % len(DRIVETRAIN_TYPES)],
+                "horsepower": 80 + rng.randrange(400),
+            },
+        )
+        values = {
+            "weight": 1000 + rng.randrange(11001),
+            "color": ("red", "blue", "white", "black")[position % 4],
+            "price": 5000 + rng.randrange(95000),
+            "drivetrain": drivetrain.oid,
+            "manufacturer": companies[rng.randrange(len(companies))],
+        }
+        if cls in ("Automobile", "DomesticAutomobile"):
+            values["doors"] = 2 + 2 * (position % 2)
+        elif cls == "Truck":
+            values["payload"] = 1000 + rng.randrange(20000)
+        handle = db.new(cls, values)
+        out[cls].append(handle.oid)
+    return out

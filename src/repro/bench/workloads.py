@@ -1,0 +1,139 @@
+"""Deterministic workload generators shared by tests and benchmarks."""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from ..core.attribute import AttributeDef
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.oid import OID
+    from ..database import Database
+
+
+def define_assembly_schema(db: "Database") -> None:
+    """A CAx-style recursive assembly: composite, dependent sub-parts."""
+    db.define_class(
+        "Assembly",
+        attributes=[
+            AttributeDef("label", "String"),
+            AttributeDef("mass", "Integer"),
+            AttributeDef(
+                "subassemblies",
+                "Assembly",
+                multi=True,
+                composite=True,
+                exclusive=True,
+                dependent=True,
+            ),
+        ],
+        doc="Recursive composite object (assembly of assemblies).",
+    )
+
+
+def build_assembly(
+    db: "Database",
+    depth: int,
+    fanout: int,
+    seed: int = 42,
+    label_prefix: str = "asm",
+) -> "OID":
+    """Build a full ``fanout``-ary composite tree of the given depth.
+
+    Children are created *before* their parent (bottom-up) so the
+    composite clustering policy can see the references at insert time.
+    Returns the root OID.
+    """
+    rng = random.Random(seed)
+    counter = [0]
+
+    def build(level: int) -> "OID":
+        children: List["OID"] = []
+        if level < depth:
+            children = [build(level + 1) for _ in range(fanout)]
+        counter[0] += 1
+        handle = db.new(
+            "Assembly",
+            {
+                "label": "%s-%d" % (label_prefix, counter[0]),
+                "mass": rng.randrange(1, 1000),
+                "subassemblies": children,
+            },
+        )
+        return handle.oid
+
+    return build(0)
+
+
+def define_document_schema(db: "Database") -> None:
+    """Multimedia compound documents [WOEL87]: long unstructured data."""
+    db.define_class(
+        "MediaElement",
+        attributes=[
+            AttributeDef("kind", "String"),
+            AttributeDef("content", "Bytes"),
+            AttributeDef("caption", "String"),
+        ],
+        doc="Image/audio/text payload with long unstructured data.",
+    )
+    db.define_class(
+        "Document",
+        attributes=[
+            AttributeDef("title", "String", required=True),
+            AttributeDef("author", "String"),
+            AttributeDef(
+                "elements",
+                "MediaElement",
+                multi=True,
+                composite=True,
+                exclusive=True,
+                dependent=True,
+            ),
+            AttributeDef("references", "Document", multi=True),
+        ],
+        doc="Compound document aggregating media elements.",
+    )
+
+
+def populate_documents(
+    db: "Database", n_documents: int, elements_per_doc: int = 3, seed: int = 7
+) -> List["OID"]:
+    rng = random.Random(seed)
+    kinds = ("text", "image", "audio")
+    documents: List["OID"] = []
+    for position in range(n_documents):
+        elements = []
+        for element_no in range(elements_per_doc):
+            payload = bytes(rng.randrange(256) for _ in range(64))
+            handle = db.new(
+                "MediaElement",
+                {
+                    "kind": kinds[element_no % len(kinds)],
+                    "content": payload,
+                    "caption": "element %d of doc %d" % (element_no, position),
+                },
+            )
+            elements.append(handle.oid)
+        references = (
+            [documents[rng.randrange(len(documents))]] if documents and rng.random() < 0.5 else []
+        )
+        document = db.new(
+            "Document",
+            {
+                "title": "doc-%d" % position,
+                "author": "author-%d" % (position % 7),
+                "elements": elements,
+                "references": references,
+            },
+        )
+        documents.append(document.oid)
+    return documents
+
+
+def selectivity_values(n: int, distinct: int, seed: int = 3) -> List[int]:
+    """n integer values with ``distinct`` distinct keys, shuffled."""
+    rng = random.Random(seed)
+    values = [position % distinct for position in range(n)]
+    rng.shuffle(values)
+    return values

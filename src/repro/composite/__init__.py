@@ -1,0 +1,5 @@
+"""Composite objects: part-of semantics, exclusivity, delete propagation."""
+
+from .model import CompositeManager, attach
+
+__all__ = ["CompositeManager", "attach"]

@@ -1,0 +1,40 @@
+"""Core object-oriented data model (the paper's Section 3.1 concepts)."""
+
+from .attribute import NO_DEFAULT, AttributeDef
+from .inheritance import c3_linearize, resolve_by_precedence
+from .klass import ClassDef
+from .method import MethodDef, method
+from .obj import ObjectHandle, ObjectState
+from .oid import OID, OIDGenerator
+from .primitives import (
+    ANY_CLASS,
+    BUILTIN_CLASSES,
+    PRIMITIVE_TYPES,
+    ROOT_CLASS,
+    is_primitive_class,
+    primitive_accepts,
+    primitive_class_of,
+)
+from .schema import Schema
+
+__all__ = [
+    "AttributeDef",
+    "NO_DEFAULT",
+    "ClassDef",
+    "MethodDef",
+    "method",
+    "ObjectHandle",
+    "ObjectState",
+    "OID",
+    "OIDGenerator",
+    "Schema",
+    "ANY_CLASS",
+    "BUILTIN_CLASSES",
+    "PRIMITIVE_TYPES",
+    "ROOT_CLASS",
+    "is_primitive_class",
+    "primitive_accepts",
+    "primitive_class_of",
+    "c3_linearize",
+    "resolve_by_precedence",
+]

@@ -1,0 +1,128 @@
+"""Attribute definitions.
+
+Core concept 2 of the paper: the state of an object is the set of values
+of its attributes, each value is itself an object, and "an attribute of an
+object may take on a single value or a set of values".  An
+:class:`AttributeDef` therefore carries a *domain* (any class name, per
+core concept 4 — including the defining class itself, which is how the
+paper's cyclic aggregation graphs arise) and a multiplicity flag.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..errors import SchemaError
+from .primitives import ANY_CLASS
+
+#: Sentinel distinguishing "no default" from "default is None".
+NO_DEFAULT = object()
+
+
+class AttributeDef:
+    """Declaration of one attribute of a class.
+
+    Parameters
+    ----------
+    name:
+        Attribute name; must be a valid identifier.
+    domain:
+        Name of the class constraining values (``"Integer"``, ``"Company"``,
+        ``"Any"``, ...).  References are checked against the domain class
+        *and all its subclasses*, per the paper's generalization reading of
+        a domain ("the attribute may take on as its values objects from the
+        class Company and any direct or indirect subclass of Company").
+    multi:
+        When True the attribute is set-valued: its value is a list of
+        values each individually conforming to ``domain``.
+    default:
+        Value assigned when an instance is created without this attribute.
+        Defaults to ``None`` for single-valued and ``[]`` for multi-valued
+        attributes.
+    required:
+        When True, ``None`` (or an empty list for multi-valued attributes)
+        is rejected on store.
+    composite / exclusive / dependent:
+        Composite-object markers [KIM89c]: a composite attribute expresses
+        a part-of relationship.  ``exclusive`` parts may belong to only one
+        parent; ``dependent`` parts are deleted with their parent.
+    """
+
+    __slots__ = (
+        "name",
+        "domain",
+        "multi",
+        "default",
+        "required",
+        "composite",
+        "exclusive",
+        "dependent",
+        "defined_in",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        domain: str = ANY_CLASS,
+        multi: bool = False,
+        default: Any = NO_DEFAULT,
+        required: bool = False,
+        composite: bool = False,
+        exclusive: bool = False,
+        dependent: bool = False,
+    ) -> None:
+        if not name.isidentifier():
+            raise SchemaError("attribute name %r is not a valid identifier" % (name,))
+        if name.startswith("_"):
+            raise SchemaError(
+                "attribute name %r may not start with an underscore "
+                "(reserved for system attributes)" % (name,)
+            )
+        if (exclusive or dependent) and not composite:
+            raise SchemaError(
+                "attribute %r: exclusive/dependent flags require composite=True" % (name,)
+            )
+        self.name = name
+        self.domain = domain
+        self.multi = bool(multi)
+        if default is NO_DEFAULT:
+            default = [] if self.multi else None
+        self.default = default
+        self.required = bool(required)
+        self.composite = bool(composite)
+        self.exclusive = bool(exclusive)
+        self.dependent = bool(dependent)
+        #: Name of the class that introduced this attribute (filled in by
+        #: the schema when the class is defined; inherited copies keep the
+        #: originating class so provenance survives the hierarchy walk).
+        self.defined_in: Optional[str] = None
+
+    def default_value(self) -> Any:
+        """A fresh copy of the default (lists are never shared)."""
+        if isinstance(self.default, list):
+            return list(self.default)
+        return self.default
+
+    def clone(self) -> "AttributeDef":
+        """Deep-enough copy used when a subclass redefines an attribute."""
+        copy = AttributeDef(
+            self.name,
+            domain=self.domain,
+            multi=self.multi,
+            default=self.default_value(),
+            required=self.required,
+            composite=self.composite,
+            exclusive=self.exclusive,
+            dependent=self.dependent,
+        )
+        copy.defined_in = self.defined_in
+        return copy
+
+    def __repr__(self) -> str:
+        parts = ["%s: %s%s" % (self.name, "set of " if self.multi else "", self.domain)]
+        if self.required:
+            parts.append("required")
+        if self.composite:
+            kind = "exclusive" if self.exclusive else "shared"
+            parts.append("composite(%s%s)" % (kind, ", dependent" if self.dependent else ""))
+        return "<AttributeDef %s>" % " ".join(parts)

@@ -1,0 +1,125 @@
+"""Class-hierarchy linearization and conflict resolution.
+
+Core concept 5 of the paper: classes form a rooted directed acyclic graph;
+a class inherits all attributes and methods from its direct and indirect
+ancestors, and multiple-inheritance name conflicts must be resolved
+deterministically.  kimdb resolves conflicts the way ORION did — by the
+user-specified order of superclasses — formalized here as C3
+linearization (the same algorithm CLOS-descendant systems and Python use),
+which respects both local precedence order and monotonicity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence, Set
+
+from ..errors import CycleError, InheritanceConflictError
+
+
+def c3_linearize(
+    name: str,
+    parents_of: Callable[[str], Sequence[str]],
+) -> List[str]:
+    """Compute the C3 linearization (MRO) of class ``name``.
+
+    ``parents_of`` maps a class name to its direct superclasses in local
+    precedence order.  The result starts with ``name`` and ends with the
+    hierarchy root.  Raises :class:`InheritanceConflictError` when no
+    monotonic linearization exists.
+    """
+    memo: Dict[str, List[str]] = {}
+    in_progress: Set[str] = set()
+
+    def linearize(cls: str) -> List[str]:
+        cached = memo.get(cls)
+        if cached is not None:
+            return cached
+        if cls in in_progress:
+            raise CycleError("class graph contains a cycle through %r" % (cls,))
+        in_progress.add(cls)
+        parents = list(parents_of(cls))
+        if not parents:
+            result = [cls]
+        else:
+            sequences = [linearize(p) for p in parents]
+            result = [cls] + _merge(sequences + [parents], cls)
+        in_progress.discard(cls)
+        memo[cls] = result
+        return result
+
+    return linearize(name)
+
+
+def _merge(sequences: List[List[str]], context: str) -> List[str]:
+    """C3 merge: repeatedly take a head that appears in no other tail."""
+    sequences = [list(seq) for seq in sequences if seq]
+    result: List[str] = []
+    while sequences:
+        for seq in sequences:
+            head = seq[0]
+            in_some_tail = any(head in other[1:] for other in sequences)
+            if not in_some_tail:
+                break
+        else:
+            raise InheritanceConflictError(
+                "cannot linearize superclasses of %r: inconsistent hierarchy "
+                "(heads: %s)" % (context, sorted({s[0] for s in sequences}))
+            )
+        result.append(head)
+        sequences = [
+            [item for item in seq if item != head] for seq in sequences
+        ]
+        sequences = [seq for seq in sequences if seq]
+    return result
+
+
+def detect_cycle(
+    names: Iterable[str],
+    parents_of: Callable[[str], Sequence[str]],
+) -> List[str]:
+    """Return one cycle in the class graph as a list of names, or []."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[str, int] = {}
+    stack_path: List[str] = []
+
+    def visit(node: str) -> List[str]:
+        color[node] = GRAY
+        stack_path.append(node)
+        for parent in parents_of(node):
+            state = color.get(parent, WHITE)
+            if state == GRAY:
+                idx = stack_path.index(parent)
+                return stack_path[idx:] + [parent]
+            if state == WHITE:
+                found = visit(parent)
+                if found:
+                    return found
+        stack_path.pop()
+        color[node] = BLACK
+        return []
+
+    for name in names:
+        if color.get(name, WHITE) == WHITE:
+            found = visit(name)
+            if found:
+                return found
+    return []
+
+
+def resolve_by_precedence(
+    mro: Sequence[str],
+    own_of: Callable[[str], Dict[str, object]],
+) -> Dict[str, object]:
+    """Flatten per-class member dicts along an MRO, first definition wins.
+
+    Walks the MRO from most specific to least specific; a member defined
+    (or redefined) in an earlier class shadows any same-named member from
+    later classes.  This realizes the paper's rule that a subclass "may
+    redefine some of the inherited behavior and attributes".
+    """
+    resolved: Dict[str, object] = {}
+    for cls in mro:
+        for member_name, member in own_of(cls).items():
+            if member_name not in resolved:
+                resolved[member_name] = member
+    return resolved

@@ -1,0 +1,119 @@
+"""Class definitions.
+
+Core concepts 3-5 of the paper: objects sharing attributes and methods are
+grouped into a class; each object is an instance of exactly one class; all
+classes form a rooted DAG.  A :class:`ClassDef` records what the class
+*itself* declares (its "own" attributes and methods); the effective,
+inheritance-resolved view is computed and cached by the
+:class:`~repro.core.schema.Schema`, which owns the hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..errors import SchemaError
+from .attribute import AttributeDef
+from .method import MethodDef
+
+
+class ClassDef:
+    """A single class in the schema.
+
+    Instances of this type are metadata only — they never hold object
+    state.  Mutation (adding attributes, methods, superclasses) goes
+    through the schema-evolution interface so invariants are enforced and
+    caches invalidated in one place.
+    """
+
+    __slots__ = (
+        "name",
+        "superclasses",
+        "own_attributes",
+        "own_methods",
+        "abstract",
+        "doc",
+        "versionable",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        superclasses: Sequence[str],
+        attributes: Iterable[AttributeDef] = (),
+        methods: Iterable[MethodDef] = (),
+        abstract: bool = False,
+        doc: str = "",
+        versionable: bool = False,
+    ) -> None:
+        if not name or not all(part.isidentifier() for part in name.split(".")):
+            raise SchemaError("class name %r is not a valid identifier" % (name,))
+        self.name = name
+        #: Direct superclasses in local precedence order.
+        self.superclasses: List[str] = list(superclasses)
+        self.own_attributes: Dict[str, AttributeDef] = {}
+        self.own_methods: Dict[str, MethodDef] = {}
+        #: Abstract classes cannot be instantiated (but can be queried,
+        #: in which case the scope is their subclass hierarchy).
+        self.abstract = bool(abstract)
+        self.doc = doc
+        #: When True, instances participate in the version-derivation
+        #: mechanism of :mod:`repro.versions`.
+        self.versionable = bool(versionable)
+
+        for attr in attributes:
+            self._add_own_attribute(attr)
+        for meth in methods:
+            self._add_own_method(meth)
+
+    # -- internal mutators (called by Schema / schema evolution only) ----
+
+    def _add_own_attribute(self, attr: AttributeDef) -> None:
+        if attr.name in self.own_attributes:
+            raise SchemaError(
+                "class %s already defines attribute %r" % (self.name, attr.name)
+            )
+        if attr.defined_in is None:
+            attr.defined_in = self.name
+        self.own_attributes[attr.name] = attr
+
+    def _add_own_method(self, meth: MethodDef) -> None:
+        if meth.name in self.own_methods:
+            raise SchemaError(
+                "class %s already defines method %r" % (self.name, meth.name)
+            )
+        if meth.defined_in is None:
+            meth.defined_in = self.name
+        self.own_methods[meth.name] = meth
+
+    def _drop_own_attribute(self, name: str) -> AttributeDef:
+        try:
+            return self.own_attributes.pop(name)
+        except KeyError:
+            raise SchemaError(
+                "class %s does not define attribute %r" % (self.name, name)
+            ) from None
+
+    def _drop_own_method(self, name: str) -> MethodDef:
+        try:
+            return self.own_methods.pop(name)
+        except KeyError:
+            raise SchemaError(
+                "class %s does not define method %r" % (self.name, name)
+            ) from None
+
+    # -- read API ----------------------------------------------------------
+
+    def own_attribute(self, name: str) -> Optional[AttributeDef]:
+        return self.own_attributes.get(name)
+
+    def own_method(self, name: str) -> Optional[MethodDef]:
+        return self.own_methods.get(name)
+
+    def __repr__(self) -> str:
+        return "<ClassDef %s(%s) attrs=%s methods=%s>" % (
+            self.name,
+            ", ".join(self.superclasses),
+            sorted(self.own_attributes),
+            sorted(self.own_methods),
+        )

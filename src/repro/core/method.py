@@ -1,0 +1,80 @@
+"""Method definitions and message dispatch support.
+
+Core concepts 2 and 6 of the paper: the behavior of an object is a set of
+methods, invoked only by *message passing* through the class's declared
+interface, with *run-time (late) binding* of a message to the method —
+"if a message sent to an instance of a class is undefined for the class,
+it is sent up the class hierarchy to determine the class in which it is
+defined".
+
+kimdb methods are Python callables registered on a class.  The callable
+receives an :class:`~repro.core.obj.ObjectHandle` as its first argument
+(the receiver), giving it encapsulated access to the receiver's state and
+the ability to send further messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..errors import SchemaError
+
+
+class MethodDef:
+    """Declaration of one method of a class.
+
+    Parameters
+    ----------
+    name:
+        Message selector.  Must be a valid identifier.
+    fn:
+        ``fn(receiver, *args, **kwargs)`` where ``receiver`` is an
+        :class:`~repro.core.obj.ObjectHandle`.
+    doc:
+        Human-readable description, surfaced by schema browsing tools.
+    """
+
+    __slots__ = ("name", "fn", "doc", "defined_in")
+
+    def __init__(self, name: str, fn: Callable[..., Any], doc: str = "") -> None:
+        if not name.isidentifier():
+            raise SchemaError("method name %r is not a valid identifier" % (name,))
+        if not callable(fn):
+            raise SchemaError("method %r: fn must be callable" % (name,))
+        self.name = name
+        self.fn = fn
+        self.doc = doc or (getattr(fn, "__doc__", "") or "")
+        #: Name of the class that defined this method; used by ``super_send``
+        #: and by schema browsing.  Filled in by the schema.
+        self.defined_in: Optional[str] = None
+
+    def invoke(self, receiver: Any, *args: Any, **kwargs: Any) -> Any:
+        """Call the underlying implementation on ``receiver``."""
+        return self.fn(receiver, *args, **kwargs)
+
+    def clone(self) -> "MethodDef":
+        copy = MethodDef(self.name, self.fn, self.doc)
+        copy.defined_in = self.defined_in
+        return copy
+
+    def __repr__(self) -> str:
+        origin = " from %s" % self.defined_in if self.defined_in else ""
+        return "<MethodDef %s%s>" % (self.name, origin)
+
+
+def method(name: Optional[str] = None, doc: str = ""):
+    """Decorator producing a :class:`MethodDef` from a plain function.
+
+    Usage::
+
+        @method()
+        def display(receiver):
+            return "Shape at %s" % (receiver["center"],)
+
+        schema.define_class("Shape", methods=[display])
+    """
+
+    def wrap(fn: Callable[..., Any]) -> MethodDef:
+        return MethodDef(name or fn.__name__, fn, doc)
+
+    return wrap

@@ -1,0 +1,71 @@
+"""Primitive domain classes.
+
+Core concept 4 of the paper: "The domain (type) of an attribute of a class
+may be any class.  The domain class may be a primitive class, such as
+integer, string, or boolean."  kimdb models primitives as leaf classes of
+the hierarchy rooted at ``Object`` so that ``Any``-typed attributes, domain
+checks and the class-hierarchy walk treat them uniformly with user classes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple, Type
+
+#: The root of the class hierarchy.  Every class, primitive or user-defined,
+#: is a (possibly indirect) subclass of ``Object``.
+ROOT_CLASS = "Object"
+
+#: Wildcard domain accepting any value, including references.
+ANY_CLASS = "Any"
+
+#: Mapping of primitive class name -> accepted Python types.
+#: ``Integer`` deliberately excludes ``bool`` (bool is a subclass of int in
+#: Python but a distinct domain in the data model).
+PRIMITIVE_TYPES: Dict[str, Tuple[Type[Any], ...]] = {
+    "Integer": (int,),
+    "Float": (float, int),
+    "String": (str,),
+    "Boolean": (bool,),
+    "Bytes": (bytes,),
+}
+
+#: All class names predefined by the system, in definition order.
+BUILTIN_CLASSES = (ROOT_CLASS, ANY_CLASS) + tuple(PRIMITIVE_TYPES)
+
+
+def is_primitive_class(name: str) -> bool:
+    """Return True if ``name`` names one of the primitive domain classes."""
+    return name in PRIMITIVE_TYPES
+
+
+def primitive_accepts(name: str, value: Any) -> bool:
+    """Check a Python value against a primitive domain.
+
+    ``Boolean`` only accepts bools; ``Integer`` accepts ints but not bools;
+    ``Float`` accepts ints and floats (numeric widening, as in SQL).
+    """
+    accepted = PRIMITIVE_TYPES.get(name)
+    if accepted is None:
+        return False
+    if name != "Boolean" and isinstance(value, bool):
+        return False
+    return isinstance(value, accepted)
+
+
+def primitive_class_of(value: Any) -> str:
+    """Return the primitive class name a Python value belongs to.
+
+    Raises ``ValueError`` for values outside the primitive domains (e.g.
+    OIDs, lists, None) — callers handle references and multi-values first.
+    """
+    if isinstance(value, bool):
+        return "Boolean"
+    if isinstance(value, int):
+        return "Integer"
+    if isinstance(value, float):
+        return "Float"
+    if isinstance(value, str):
+        return "String"
+    if isinstance(value, bytes):
+        return "Bytes"
+    raise ValueError("value %r has no primitive class" % (value,))

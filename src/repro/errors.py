@@ -1,0 +1,113 @@
+"""Exception hierarchy for kimdb.
+
+Every error raised by the library derives from :class:`KimDBError` so that
+applications can catch a single base class.  Subsystems raise the most
+specific subclass available; messages always name the offending schema
+element or object so failures are diagnosable without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class KimDBError(Exception):
+    """Base class for all kimdb errors."""
+
+
+class SchemaError(KimDBError):
+    """Invalid schema definition or schema lookup failure."""
+
+
+class ClassNotFoundError(SchemaError):
+    """A class name was referenced that is not defined in the schema."""
+
+
+class DuplicateClassError(SchemaError):
+    """A class with the same name is already defined."""
+
+
+class AttributeNotFoundError(SchemaError):
+    """An attribute name is not defined (directly or by inheritance)."""
+
+
+class MethodNotFoundError(SchemaError):
+    """No method matches a message anywhere along the class hierarchy."""
+
+
+class InheritanceConflictError(SchemaError):
+    """Multiple-inheritance conflict that cannot be linearized."""
+
+
+class CycleError(SchemaError):
+    """The requested change would make the class graph cyclic."""
+
+
+class SchemaEvolutionError(SchemaError):
+    """A schema change operation violates a schema invariant."""
+
+
+class TypeCheckError(KimDBError):
+    """A value does not conform to the declared domain of an attribute."""
+
+
+class ObjectNotFoundError(KimDBError):
+    """No object with the given OID exists (or it was deleted)."""
+
+
+class QueryError(KimDBError):
+    """Malformed query (syntax or semantic error)."""
+
+
+class QuerySyntaxError(QueryError):
+    """The OQL text could not be parsed."""
+
+
+class PlanningError(QueryError):
+    """The planner could not produce an executable plan."""
+
+
+class TransactionError(KimDBError):
+    """Illegal transaction state transition or usage."""
+
+
+class DeadlockError(TransactionError):
+    """Lock acquisition aborted to break a deadlock."""
+
+
+class LockTimeoutError(TransactionError):
+    """A lock could not be acquired within the configured timeout."""
+
+
+class RecoveryError(KimDBError):
+    """The write-ahead log is corrupt or replay failed."""
+
+
+class StorageError(KimDBError):
+    """Low-level page/heap failure."""
+
+
+class PageFullError(StorageError):
+    """A record does not fit into any slot of the target page."""
+
+
+class AuthorizationError(KimDBError):
+    """The subject lacks the required privilege."""
+
+
+class VersionError(KimDBError):
+    """Illegal version-derivation or promotion operation."""
+
+
+class CompositeError(KimDBError):
+    """Composite-object constraint violation (e.g. shared exclusive part)."""
+
+
+class ViewError(KimDBError):
+    """Invalid view definition or view usage."""
+
+
+class RuleError(KimDBError):
+    """Invalid rule definition or contradiction during inference."""
+
+
+class FederationError(KimDBError):
+    """Multidatabase mapping or routing failure."""

@@ -1,0 +1,17 @@
+"""Schema evolution: ORION-style invariants and change taxonomy."""
+
+from .changes import SchemaEvolution
+from .invariants import (
+    check_all,
+    check_distinct_name_invariant,
+    check_domain_compatibility_invariant,
+    check_hierarchy_invariant,
+)
+
+__all__ = [
+    "SchemaEvolution",
+    "check_all",
+    "check_distinct_name_invariant",
+    "check_domain_compatibility_invariant",
+    "check_hierarchy_invariant",
+]

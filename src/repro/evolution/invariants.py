@@ -1,0 +1,101 @@
+"""Schema invariants [BANE87].
+
+The ORION schema-evolution framework defines invariants every schema
+change must preserve.  Each checker raises
+:class:`~repro.errors.SchemaEvolutionError` naming the violation; the
+change operations in :mod:`repro.evolution.changes` validate on a trial
+basis (apply, check, roll back on failure).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.primitives import ANY_CLASS, ROOT_CLASS, is_primitive_class
+from ..core.schema import Schema
+from ..errors import SchemaError, SchemaEvolutionError
+
+
+def check_hierarchy_invariant(schema: Schema) -> None:
+    """The class graph is a rooted, connected DAG with a single root."""
+    try:
+        schema.check_no_cycle()
+    except SchemaError as exc:
+        raise SchemaEvolutionError(str(exc)) from exc
+    for cls in schema.classes():
+        if cls.name == ROOT_CLASS:
+            continue
+        if not cls.superclasses:
+            raise SchemaEvolutionError(
+                "class %s is disconnected from the hierarchy root" % cls.name
+            )
+        if ROOT_CLASS not in schema.mro(cls.name):
+            raise SchemaEvolutionError(
+                "class %s does not reach the root %s" % (cls.name, ROOT_CLASS)
+            )
+
+
+def check_distinct_name_invariant(schema: Schema) -> None:
+    """Effective attribute/method names of every class are resolvable.
+
+    With conflict resolution by linearization this holds by construction;
+    the check verifies linearization itself succeeds for every class.
+    """
+    for cls in schema.classes():
+        try:
+            schema.mro(cls.name)
+            schema.attributes(cls.name)
+            schema.methods(cls.name)
+        except SchemaError as exc:
+            raise SchemaEvolutionError(
+                "class %s cannot resolve members: %s" % (cls.name, exc)
+            ) from exc
+
+
+def check_domain_compatibility_invariant(schema: Schema) -> None:
+    """A redefined attribute's domain must specialize the original's.
+
+    ORION requires a subclass shadowing an inherited attribute to narrow
+    (or keep) its domain, so code written against the superclass stays
+    type-safe on subclass instances.
+    """
+    for cls in schema.classes():
+        mro = schema.mro(cls.name)
+        for attr_name, attr in cls.own_attributes.items():
+            for ancestor_name in mro[1:]:
+                ancestor = schema.get_class(ancestor_name)
+                original = ancestor.own_attributes.get(attr_name)
+                if original is None:
+                    continue
+                if not _domain_specializes(schema, attr.domain, original.domain):
+                    raise SchemaEvolutionError(
+                        "class %s redefines %r with domain %s, which does not "
+                        "specialize %s (inherited from %s)"
+                        % (cls.name, attr_name, attr.domain, original.domain, ancestor_name)
+                    )
+                break  # only the nearest shadowed definition constrains
+
+
+def _domain_specializes(schema: Schema, narrow: str, wide: str) -> bool:
+    if wide == ANY_CLASS or narrow == wide:
+        return True
+    if is_primitive_class(wide) or is_primitive_class(narrow):
+        return narrow == wide
+    try:
+        return schema.is_subclass(narrow, wide)
+    except SchemaError:
+        return False
+
+
+def check_all(schema: Schema) -> List[str]:
+    """Run every invariant; returns the names of the checks that passed."""
+    checks = (
+        check_hierarchy_invariant,
+        check_distinct_name_invariant,
+        check_domain_compatibility_invariant,
+    )
+    passed = []
+    for check in checks:
+        check(schema)
+        passed.append(check.__name__)
+    return passed

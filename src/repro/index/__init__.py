@@ -1,0 +1,20 @@
+"""Secondary indexing: B+-tree, single-class, class-hierarchy, nested."""
+
+from .base import Index, IndexStats, attribute_keys
+from .btree import BTree, normalize_key
+from .class_hierarchy import ClassHierarchyIndex
+from .manager import IndexManager
+from .nested import NestedAttributeIndex
+from .single_class import SingleClassIndex
+
+__all__ = [
+    "Index",
+    "IndexStats",
+    "attribute_keys",
+    "BTree",
+    "normalize_key",
+    "ClassHierarchyIndex",
+    "IndexManager",
+    "NestedAttributeIndex",
+    "SingleClassIndex",
+]

@@ -1,0 +1,142 @@
+"""Shared machinery for kimdb secondary indexes.
+
+The paper's Section 3.2 derives two OODB-specific index kinds from the
+two hierarchies of the data model: *class-hierarchy indexes* along the
+generalization hierarchy and *nested-attribute indexes* along the
+aggregation hierarchy.  All kinds share the B+-tree substrate and a
+common probe/maintenance interface defined here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.obj import ObjectState
+from ..core.oid import OID
+from ..core.schema import Schema
+from .btree import BTree
+
+
+class IndexStats:
+    """Probe/maintenance counters for one index."""
+
+    __slots__ = ("probes", "inserts", "removes", "recomputes")
+
+    def __init__(self) -> None:
+        self.probes = 0
+        self.inserts = 0
+        self.removes = 0
+        self.recomputes = 0
+
+    def reset(self) -> None:
+        self.probes = 0
+        self.inserts = 0
+        self.removes = 0
+        self.recomputes = 0
+
+
+class Index:
+    """Base class for secondary indexes.
+
+    Subclasses define which classes they *maintain* entries for
+    (``maintained_classes``) and which query scopes they can *answer*
+    (:meth:`covers`).  Probes return OIDs sorted for determinism.
+    """
+
+    kind = "abstract"
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        target_class: str,
+        path: Sequence[str],
+        order: int = 64,
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self.target_class = target_class
+        self.path: Tuple[str, ...] = tuple(path)
+        self.tree = BTree(order=order)
+        self.stats = IndexStats()
+
+    # -- coverage ------------------------------------------------------------
+
+    def maintained_classes(self) -> List[str]:
+        """Classes whose instances feed this index."""
+        raise NotImplementedError
+
+    def covers(self, target_class: str, path: Sequence[str], scope: Set[str]) -> bool:
+        """Can this index answer a predicate on ``path`` over ``scope``?"""
+        raise NotImplementedError
+
+    # -- probes ---------------------------------------------------------------
+
+    def _filter(self, entries: Iterable[Tuple[str, OID]], scope: Optional[Set[str]]) -> List[OID]:
+        if scope is None:
+            return [oid for _cls, oid in entries]
+        return [oid for cls, oid in entries if cls in scope]
+
+    def lookup_eq(self, value: Any, scope: Optional[Set[str]] = None) -> List[OID]:
+        self.stats.probes += 1
+        return sorted(self._filter(self.tree.search(value), scope))
+
+    def lookup_range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+        scope: Optional[Set[str]] = None,
+    ) -> List[OID]:
+        self.stats.probes += 1
+        out: List[OID] = []
+        for _key, entries in self.tree.range(low, high, include_low, include_high):
+            out.extend(self._filter(entries, scope))
+        return sorted(set(out))
+
+    def lookup_in(self, values: Iterable[Any], scope: Optional[Set[str]] = None) -> List[OID]:
+        self.stats.probes += 1
+        out: List[OID] = []
+        for value in values:
+            out.extend(self._filter(self.tree.search(value), scope))
+        return sorted(set(out))
+
+    # -- maintenance ---------------------------------------------------------
+
+    def on_insert(self, state: ObjectState) -> None:
+        raise NotImplementedError
+
+    def on_delete(self, state: ObjectState) -> None:
+        raise NotImplementedError
+
+    def on_update(self, old: ObjectState, new: ObjectState) -> None:
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        self.tree.clear()
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    def __repr__(self) -> str:
+        return "<%s %s on %s.%s (%d entries)>" % (
+            type(self).__name__,
+            self.name,
+            self.target_class,
+            ".".join(self.path),
+            len(self.tree),
+        )
+
+
+def attribute_keys(state: ObjectState, attr_name: str) -> List[Any]:
+    """Index keys contributed by one attribute of one object.
+
+    A single-valued attribute contributes its value (including None so
+    ``is null`` style probes work); a set-valued attribute contributes
+    each element, and an empty set contributes nothing.
+    """
+    value = state.values.get(attr_name)
+    if isinstance(value, list):
+        return list(value)
+    return [value]

@@ -1,0 +1,5 @@
+"""kimdb DL: the unified DDL/DML/DCL database language (Section 3.1)."""
+
+from .ddl import Interpreter, StatementResult
+
+__all__ = ["Interpreter", "StatementResult"]

@@ -1,0 +1,27 @@
+"""Multidatabase: hierarchical baseline, federation, OSQL migration."""
+
+from .federation import (
+    Adapter,
+    Federation,
+    HierarchicalAdapter,
+    ObjectAdapter,
+    RelationalAdapter,
+    VirtualClass,
+)
+from .hierarchical import HierarchicalDatabase, HierarchicalRecord, SegmentType
+from .osql import TranslatedQuery, run_osql, translate_sql
+
+__all__ = [
+    "Adapter",
+    "Federation",
+    "HierarchicalAdapter",
+    "ObjectAdapter",
+    "RelationalAdapter",
+    "VirtualClass",
+    "HierarchicalDatabase",
+    "HierarchicalRecord",
+    "SegmentType",
+    "TranslatedQuery",
+    "run_osql",
+    "translate_sql",
+]

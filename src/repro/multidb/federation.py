@@ -1,0 +1,304 @@
+"""Multidatabase federation under a common object-oriented model.
+
+Section 5.2: "It is highly desirable to allow the user to access a
+heterogeneous mix of databases under the illusion of a single common
+data model ... The richness of an object-oriented data model makes it
+appropriate for use as the common data model."
+
+Every participating database is wrapped in an adapter exposing *virtual
+classes* — named row sources with attributes and optional cross-source
+**references** (attribute ``x`` of virtual class A refers to the row of
+virtual class B whose key attribute matches).  Federated OQL queries run
+against virtual classes, with path predicates traversing references even
+when the endpoints live in different engines.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..errors import FederationError
+from ..query.ast import (
+    And,
+    Comparison,
+    Expr,
+    Not,
+    Or,
+    Query,
+)
+from ..query.parser import parse_query
+from ..query.paths import compare
+from .hierarchical import HierarchicalDatabase
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..database import Database
+    from ..relational.engine import RelationalEngine
+
+Row = Dict[str, Any]
+
+
+class VirtualClass:
+    """One federated row source.
+
+    ``references`` maps a local attribute to ``(virtual_class, key_attr)``:
+    the attribute's value identifies the row of the target class whose
+    ``key_attr`` equals it.
+    """
+
+    __slots__ = ("name", "attributes", "references")
+
+    def __init__(
+        self,
+        name: str,
+        attributes: List[str],
+        references: Optional[Dict[str, Tuple[str, str]]] = None,
+    ) -> None:
+        self.name = name
+        self.attributes = list(attributes)
+        self.references = dict(references or {})
+
+    def __repr__(self) -> str:
+        return "<VirtualClass %s(%s)>" % (self.name, ", ".join(self.attributes))
+
+
+class Adapter:
+    """Interface every federated source implements."""
+
+    def virtual_classes(self) -> List[VirtualClass]:
+        raise NotImplementedError
+
+    def scan(self, class_name: str) -> Iterator[Row]:
+        raise NotImplementedError
+
+
+class RelationalAdapter(Adapter):
+    """Expose relational tables as virtual classes (1 table = 1 class)."""
+
+    def __init__(
+        self,
+        engine: "RelationalEngine",
+        references: Optional[Dict[str, Dict[str, Tuple[str, str]]]] = None,
+    ) -> None:
+        self.engine = engine
+        self._references = references or {}
+
+    def virtual_classes(self) -> List[VirtualClass]:
+        out = []
+        for name in self.engine.table_names():
+            table = self.engine.table(name)
+            out.append(
+                VirtualClass(name, table.column_names(), self._references.get(name))
+            )
+        return out
+
+    def scan(self, class_name: str) -> Iterator[Row]:
+        yield from self.engine.scan(class_name)
+
+
+class HierarchicalAdapter(Adapter):
+    """Expose segments as virtual classes; the parent link becomes a
+    synthetic ``parent_id`` reference attribute (navigation flattened
+    into the common model)."""
+
+    def __init__(self, hdb: HierarchicalDatabase) -> None:
+        self.hdb = hdb
+
+    def virtual_classes(self) -> List[VirtualClass]:
+        out = []
+        for name in self.hdb.segment_names():
+            segment = self.hdb.segment(name)
+            attributes = ["record_id"] + segment.fields
+            references: Dict[str, Tuple[str, str]] = {}
+            if segment.parent is not None:
+                attributes.append("parent_id")
+                references["parent_id"] = (segment.parent, "record_id")
+            out.append(VirtualClass(name, attributes, references))
+        return out
+
+    def scan(self, class_name: str) -> Iterator[Row]:
+        for record in self.hdb.scan(class_name):
+            row: Row = {"record_id": record.record_id}
+            row.update(record.fields)
+            if record.parent_id is not None:
+                row["parent_id"] = record.parent_id
+            yield row
+
+
+class ObjectAdapter(Adapter):
+    """Expose kimdb classes as virtual classes.
+
+    Reference attributes surface as OID values; they are declared as
+    federation references keyed on the target's ``oid`` attribute.
+    """
+
+    def __init__(self, db: "Database", classes: Iterable[str]) -> None:
+        self.db = db
+        self.classes = list(classes)
+
+    def virtual_classes(self) -> List[VirtualClass]:
+        from ..core.primitives import is_primitive_class
+
+        out = []
+        for name in self.classes:
+            attrs = self.db.schema.attributes(name)
+            attributes = ["oid"] + sorted(attrs)
+            references = {}
+            for attr_name, attr in attrs.items():
+                domain = attr.domain
+                if (
+                    not is_primitive_class(domain)
+                    and domain not in ("Any", "Object")
+                    and domain in self.classes
+                ):
+                    references[attr_name] = (domain, "oid")
+            out.append(VirtualClass(name, attributes, references))
+        return out
+
+    def scan(self, class_name: str) -> Iterator[Row]:
+        for state in self.db.storage.scan_class(class_name):
+            row: Row = {"oid": state.oid}
+            row.update(state.values)
+            yield row
+
+
+class Federation:
+    """The multidatabase: a registry of adapters + a federated executor."""
+
+    def __init__(self) -> None:
+        self._sources: Dict[str, Adapter] = {}
+        self._classes: Dict[str, Tuple[str, VirtualClass]] = {}
+
+    def register(self, source_name: str, adapter: Adapter) -> None:
+        if source_name in self._sources:
+            raise FederationError("source %r already registered" % (source_name,))
+        self._sources[source_name] = adapter
+        for virtual in adapter.virtual_classes():
+            if virtual.name in self._classes:
+                raise FederationError(
+                    "virtual class %r exported by both %r and %r"
+                    % (virtual.name, self._classes[virtual.name][0], source_name)
+                )
+            self._classes[virtual.name] = (source_name, virtual)
+
+    def refresh(self) -> None:
+        """Re-pull virtual class catalogs (after source DDL)."""
+        sources = dict(self._sources)
+        self._sources.clear()
+        self._classes.clear()
+        for name, adapter in sources.items():
+            self.register(name, adapter)
+
+    # -- catalog ---------------------------------------------------------------
+
+    def class_names(self) -> List[str]:
+        return sorted(self._classes)
+
+    def source_of(self, class_name: str) -> str:
+        return self._entry(class_name)[0]
+
+    def virtual_class(self, class_name: str) -> VirtualClass:
+        return self._entry(class_name)[1]
+
+    def _entry(self, class_name: str) -> Tuple[str, VirtualClass]:
+        entry = self._classes.get(class_name)
+        if entry is None:
+            raise FederationError("no virtual class named %r" % (class_name,))
+        return entry
+
+    # -- execution ------------------------------------------------------------------
+
+    def scan(self, class_name: str) -> Iterator[Row]:
+        source, _virtual = self._entry(class_name)
+        yield from self._sources[source].scan(class_name)
+
+    def _deref_row(self, class_name: str, attr: str, value: Any) -> Optional[Tuple[str, Row]]:
+        virtual = self.virtual_class(class_name)
+        target = virtual.references.get(attr)
+        if target is None or value is None:
+            return None
+        target_class, key_attr = target
+        for row in self.scan(target_class):
+            if row.get(key_attr) == value:
+                return target_class, row
+        return None
+
+    def _path_values(self, class_name: str, row: Row, steps: Tuple[str, ...]) -> List[Any]:
+        current: List[Tuple[str, Row]] = [(class_name, row)]
+        for position, step in enumerate(steps):
+            is_last = position == len(steps) - 1
+            next_rows: List[Tuple[str, Row]] = []
+            values: List[Any] = []
+            for cls, r in current:
+                value = r.get(step)
+                if is_last:
+                    virtual = self.virtual_class(cls)
+                    if step in virtual.references:
+                        # A terminal reference compares by its raw value.
+                        values.append(value)
+                    else:
+                        values.append(value)
+                    continue
+                resolved = self._deref_row(cls, step, value)
+                if resolved is not None:
+                    next_rows.append(resolved)
+            if is_last:
+                return values
+            current = next_rows
+        return []
+
+    def _evaluate(self, class_name: str, row: Row, expr: Expr) -> bool:
+        if isinstance(expr, Comparison):
+            values = self._path_values(class_name, row, expr.path.steps)
+            return any(compare(expr.op, v, expr.const.value) for v in values)
+        if isinstance(expr, And):
+            return all(self._evaluate(class_name, row, op) for op in expr.operands)
+        if isinstance(expr, Or):
+            return any(self._evaluate(class_name, row, op) for op in expr.operands)
+        if isinstance(expr, Not):
+            return not self._evaluate(class_name, row, expr.operand)
+        raise FederationError(
+            "federated queries support comparisons and boolean operators only"
+        )
+
+    def query(self, text_or_query) -> List[Row]:
+        """Run a federated OQL query; returns row dicts.
+
+        Projections are honoured; hierarchy scope is meaningless across
+        sources and ignored.
+        """
+        query: Query = (
+            parse_query(text_or_query)
+            if isinstance(text_or_query, str)
+            else text_or_query
+        )
+        self._entry(query.target_class)
+        matched: List[Row] = []
+        for row in self.scan(query.target_class):
+            if query.where is None or self._evaluate(query.target_class, row, query.where):
+                matched.append(row)
+        if query.order_by is not None:
+            steps = query.order_by.steps
+
+            def sort_key(row: Row):
+                values = self._path_values(query.target_class, row, steps)
+                return (0, values[0]) if values and values[0] is not None else (1, 0)
+
+            matched.sort(key=sort_key, reverse=query.descending)
+        if query.limit is not None:
+            matched = matched[: query.limit]
+        if query.projections is not None:
+            projected = []
+            for row in matched:
+                out: Row = {}
+                for path in query.projections:
+                    values = self._path_values(query.target_class, row, path.steps)
+                    out[path.dotted()] = values[0] if len(values) == 1 else (values or None)
+                projected.append(out)
+            return projected
+        return matched
+
+    def __repr__(self) -> str:
+        return "<Federation %d sources, %d virtual classes>" % (
+            len(self._sources),
+            len(self._classes),
+        )

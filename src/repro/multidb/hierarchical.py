@@ -1,0 +1,168 @@
+"""An IMS-style hierarchical database — the second-generation baseline.
+
+Section 5.2's migration scenario has "a Product database managed by a
+hierarchical database system".  This is that system: segment types form
+a tree, records of a child segment live under a parent record, and
+access is navigational (roots, then children), exactly the style whose
+"tedious navigational access" motivated the relational generation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..errors import FederationError
+
+
+class SegmentType:
+    __slots__ = ("name", "fields", "parent")
+
+    def __init__(self, name: str, fields: List[str], parent: Optional[str]) -> None:
+        self.name = name
+        self.fields = list(fields)
+        self.parent = parent
+
+    def __repr__(self) -> str:
+        return "<SegmentType %s under %s>" % (self.name, self.parent or "(root)")
+
+
+class HierarchicalRecord:
+    __slots__ = ("record_id", "segment", "parent_id", "fields")
+
+    def __init__(
+        self,
+        record_id: int,
+        segment: str,
+        parent_id: Optional[int],
+        fields: Dict[str, Any],
+    ) -> None:
+        self.record_id = record_id
+        self.segment = segment
+        self.parent_id = parent_id
+        self.fields = fields
+
+    def __repr__(self) -> str:
+        return "<%s #%d %r>" % (self.segment, self.record_id, self.fields)
+
+
+class HierarchicalDatabase:
+    """Tree-structured records with navigational access."""
+
+    def __init__(self, name: str = "hdb") -> None:
+        self.name = name
+        self._segments: Dict[str, SegmentType] = {}
+        self._records: Dict[int, HierarchicalRecord] = {}
+        self._children: Dict[int, List[int]] = {}
+        self._roots: Dict[str, List[int]] = {}
+        self._by_segment: Dict[str, List[int]] = {}
+        self._next_id = 1
+
+    # -- schema -----------------------------------------------------------------
+
+    def define_segment(
+        self, name: str, fields: List[str], parent: Optional[str] = None
+    ) -> SegmentType:
+        if name in self._segments:
+            raise FederationError("segment %r already defined" % (name,))
+        if parent is not None and parent not in self._segments:
+            raise FederationError("parent segment %r is not defined" % (parent,))
+        segment = SegmentType(name, fields, parent)
+        self._segments[name] = segment
+        self._by_segment[name] = []
+        if parent is None:
+            self._roots[name] = []
+        return segment
+
+    def segment(self, name: str) -> SegmentType:
+        segment = self._segments.get(name)
+        if segment is None:
+            raise FederationError("no segment named %r" % (name,))
+        return segment
+
+    def segment_names(self) -> List[str]:
+        return sorted(self._segments)
+
+    # -- records ---------------------------------------------------------------------
+
+    def insert(
+        self,
+        segment_name: str,
+        fields: Dict[str, Any],
+        parent_id: Optional[int] = None,
+    ) -> int:
+        segment = self.segment(segment_name)
+        if segment.parent is None:
+            if parent_id is not None:
+                raise FederationError(
+                    "root segment %r takes no parent" % (segment_name,)
+                )
+        else:
+            if parent_id is None:
+                raise FederationError(
+                    "segment %r requires a parent %r record"
+                    % (segment_name, segment.parent)
+                )
+            parent = self._records.get(parent_id)
+            if parent is None or parent.segment != segment.parent:
+                raise FederationError(
+                    "record %r is not a %r parent" % (parent_id, segment.parent)
+                )
+        unknown = set(fields) - set(segment.fields)
+        if unknown:
+            raise FederationError(
+                "unknown fields %s for segment %r" % (sorted(unknown), segment_name)
+            )
+        record_id = self._next_id
+        self._next_id += 1
+        record = HierarchicalRecord(
+            record_id,
+            segment_name,
+            parent_id,
+            {f: fields.get(f) for f in segment.fields},
+        )
+        self._records[record_id] = record
+        self._by_segment[segment_name].append(record_id)
+        if parent_id is None:
+            self._roots[segment_name].append(record_id)
+        else:
+            self._children.setdefault(parent_id, []).append(record_id)
+        return record_id
+
+    # -- navigation (the second-generation access style) ----------------------------
+
+    def get(self, record_id: int) -> HierarchicalRecord:
+        record = self._records.get(record_id)
+        if record is None:
+            raise FederationError("no record %r" % (record_id,))
+        return record
+
+    def roots(self, segment_name: str) -> List[HierarchicalRecord]:
+        self.segment(segment_name)
+        return [self._records[rid] for rid in self._roots.get(segment_name, ())]
+
+    def children(
+        self, record_id: int, segment_name: Optional[str] = None
+    ) -> List[HierarchicalRecord]:
+        self.get(record_id)
+        out = [self._records[rid] for rid in self._children.get(record_id, ())]
+        if segment_name is not None:
+            out = [r for r in out if r.segment == segment_name]
+        return out
+
+    def parent(self, record_id: int) -> Optional[HierarchicalRecord]:
+        record = self.get(record_id)
+        if record.parent_id is None:
+            return None
+        return self._records[record.parent_id]
+
+    def scan(self, segment_name: str) -> Iterator[HierarchicalRecord]:
+        self.segment(segment_name)
+        for record_id in self._by_segment.get(segment_name, ()):
+            yield self._records[record_id]
+
+    def __repr__(self) -> str:
+        return "<HierarchicalDatabase %s: %d segments, %d records>" % (
+            self.name,
+            len(self._segments),
+            len(self._records),
+        )

@@ -1,0 +1,57 @@
+"""Query model: OQL parsing, object algebra, planning, execution."""
+
+from .ast import (
+    AdtPredicate,
+    And,
+    Comparison,
+    Const,
+    Expr,
+    MethodCall,
+    Not,
+    Or,
+    Path,
+    Query,
+    conjuncts,
+)
+from .executor import ExecutionStats, Executor, ResultSet
+from .parser import parse_query
+from .paths import compare, evaluate_path, validate_path
+from .planner import (
+    AccessPath,
+    AdtIndexProbe,
+    ExtentScan,
+    IndexEqProbe,
+    IndexInProbe,
+    IndexRangeProbe,
+    Plan,
+    Planner,
+)
+
+__all__ = [
+    "AdtPredicate",
+    "And",
+    "Comparison",
+    "Const",
+    "Expr",
+    "MethodCall",
+    "Not",
+    "Or",
+    "Path",
+    "Query",
+    "conjuncts",
+    "ExecutionStats",
+    "Executor",
+    "ResultSet",
+    "parse_query",
+    "compare",
+    "evaluate_path",
+    "validate_path",
+    "AccessPath",
+    "AdtIndexProbe",
+    "ExtentScan",
+    "IndexEqProbe",
+    "IndexInProbe",
+    "IndexRangeProbe",
+    "Plan",
+    "Planner",
+]

@@ -1,0 +1,270 @@
+"""Query AST.
+
+The paper's query model (Section 3.2, [KIM89d]): a query targets a class,
+its scope is either the class alone or the hierarchy rooted at it, and
+predicates range over the *nested definition* of the class — paths along
+the aggregation hierarchy ("v.manufacturer.location = 'Detroit'").
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..errors import QueryError
+
+#: Comparison operators understood by predicates and the planner.
+COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=", "like", "in", "contains")
+
+
+class Expr:
+    """Base class for boolean expressions."""
+
+    def children(self) -> Sequence["Expr"]:
+        return ()
+
+
+class Path:
+    """An attribute path rooted at the query variable (``v.a.b.c``)."""
+
+    __slots__ = ("steps",)
+
+    def __init__(self, steps: Sequence[str]) -> None:
+        if not steps:
+            raise QueryError("empty attribute path")
+        self.steps: Tuple[str, ...] = tuple(steps)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Path) and other.steps == self.steps
+
+    def __hash__(self) -> int:
+        return hash(self.steps)
+
+    def __repr__(self) -> str:
+        return "Path(%s)" % ".".join(self.steps)
+
+    def dotted(self) -> str:
+        return ".".join(self.steps)
+
+
+class Const:
+    """A literal value (possibly a list, for IN)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Const) and other.value == self.value
+
+    def __repr__(self) -> str:
+        return "Const(%r)" % (self.value,)
+
+
+#: Aggregate function names understood by the parser and executor.
+AGGREGATE_FNS = ("count", "sum", "avg", "min", "max")
+
+
+class Aggregate:
+    """An aggregate select item: ``COUNT(v)`` or ``SUM(v.weight)``.
+
+    ``path`` is None for ``COUNT(v)`` (count of qualifying objects);
+    otherwise the aggregate folds the first terminal value of the path
+    per object (missing/None values are skipped, as in SQL).
+    """
+
+    __slots__ = ("fn", "path")
+
+    def __init__(self, fn: str, path: Optional["Path"]) -> None:
+        fn = fn.lower()
+        if fn not in AGGREGATE_FNS:
+            raise QueryError("unknown aggregate function %r" % (fn,))
+        if fn != "count" and path is None:
+            raise QueryError("%s() requires an attribute path" % fn.upper())
+        self.fn = fn
+        self.path = path
+
+    def label(self) -> str:
+        inner = self.path.dotted() if self.path is not None else "*"
+        return "%s(%s)" % (self.fn, inner)
+
+    def __repr__(self) -> str:
+        return "Aggregate(%s)" % self.label()
+
+
+class Comparison(Expr):
+    """``path op literal`` — the sargable predicate form."""
+
+    __slots__ = ("op", "path", "const")
+
+    def __init__(self, op: str, path: Path, const: Const) -> None:
+        if op not in COMPARISON_OPS:
+            raise QueryError("unknown comparison operator %r" % (op,))
+        if op == "in" and not isinstance(const.value, (list, tuple)):
+            raise QueryError("IN requires a list literal")
+        self.op = op
+        self.path = path
+        self.const = const
+
+    def __repr__(self) -> str:
+        return "(%s %s %r)" % (self.path.dotted(), self.op, self.const.value)
+
+
+class MethodCall(Expr):
+    """``path.method(args) = literal`` style predicate on behavior.
+
+    Evaluated by sending the message to the object the path leads to; the
+    method's return value is compared with ``op`` against the literal.
+    Never sargable (methods are opaque), always a residual filter.
+    """
+
+    __slots__ = ("path", "selector", "args", "op", "const")
+
+    def __init__(
+        self,
+        path: Optional[Path],
+        selector: str,
+        args: Sequence[Any],
+        op: str = "=",
+        const: Optional[Const] = None,
+    ) -> None:
+        self.path = path  # None means the method runs on the target itself
+        self.selector = selector
+        self.args = list(args)
+        self.op = op
+        self.const = const if const is not None else Const(True)
+
+    def __repr__(self) -> str:
+        prefix = self.path.dotted() + "." if self.path else ""
+        return "(%s%s(%s) %s %r)" % (
+            prefix,
+            self.selector,
+            ", ".join(repr(a) for a in self.args),
+            self.op,
+            self.const.value,
+        )
+
+
+class AdtPredicate(Expr):
+    """A user-defined-type predicate (Section 5.5).
+
+    ``name`` identifies an operation in the ADT registry; ``path`` selects
+    the attribute holding the ADT value; ``args`` are literal operands.
+    The planner consults the registry for a matching access method.
+    """
+
+    __slots__ = ("name", "path", "args")
+
+    def __init__(self, name: str, path: Path, args: Sequence[Any]) -> None:
+        self.name = name
+        self.path = path
+        args = list(args)
+        if len(args) == 1 and isinstance(args[0], (list, tuple)):
+            # ``overlaps(r.shape, [0, 0, 4, 4])`` — a single list literal
+            # is the operand vector.
+            args = list(args[0])
+        self.args = args
+
+    def __repr__(self) -> str:
+        return "%s(%s, %r)" % (self.name, self.path.dotted(), self.args)
+
+
+class And(Expr):
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: Sequence[Expr]) -> None:
+        if len(operands) < 2:
+            raise QueryError("AND requires at least two operands")
+        self.operands = list(operands)
+
+    def children(self) -> Sequence[Expr]:
+        return self.operands
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(repr(op) for op in self.operands) + ")"
+
+
+class Or(Expr):
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: Sequence[Expr]) -> None:
+        if len(operands) < 2:
+            raise QueryError("OR requires at least two operands")
+        self.operands = list(operands)
+
+    def children(self) -> Sequence[Expr]:
+        return self.operands
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(repr(op) for op in self.operands) + ")"
+
+
+class Not(Expr):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expr) -> None:
+        self.operand = operand
+
+    def children(self) -> Sequence[Expr]:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return "(NOT %r)" % (self.operand,)
+
+
+class Query:
+    """A complete query.
+
+    ``hierarchy=True`` is the paper's default interpretation (the target
+    class is "the generalization of all direct and indirect subclasses");
+    ``hierarchy=False`` corresponds to ``FROM ONLY C``.
+    """
+
+    def __init__(
+        self,
+        target_class: str,
+        variable: str = "x",
+        where: Optional[Expr] = None,
+        hierarchy: bool = True,
+        projections: Optional[List[Path]] = None,
+        order_by: Optional[Path] = None,
+        descending: bool = False,
+        limit: Optional[int] = None,
+        aggregates: Optional[List[Aggregate]] = None,
+        group_by: Optional[Path] = None,
+    ) -> None:
+        if aggregates and projections:
+            raise QueryError(
+                "aggregates cannot be mixed with plain projections "
+                "(use GROUP BY for the grouping attribute)"
+            )
+        if group_by is not None and not aggregates:
+            raise QueryError("GROUP BY requires at least one aggregate")
+        self.target_class = target_class
+        self.variable = variable
+        self.where = where
+        self.hierarchy = hierarchy
+        #: None -> return object handles; otherwise project these paths.
+        self.projections = projections
+        self.order_by = order_by
+        self.descending = descending
+        self.limit = limit
+        #: Aggregate select items; when set, rows are group summaries.
+        self.aggregates = aggregates
+        self.group_by = group_by
+
+    def __repr__(self) -> str:
+        scope = self.target_class if self.hierarchy else "ONLY " + self.target_class
+        return "<Query %s %s WHERE %r>" % (self.variable, scope, self.where)
+
+
+def conjuncts(expr: Optional[Expr]) -> List[Expr]:
+    """Flatten the top-level AND tree into a conjunct list."""
+    if expr is None:
+        return []
+    if isinstance(expr, And):
+        out: List[Expr] = []
+        for operand in expr.operands:
+            out.extend(conjuncts(operand))
+        return out
+    return [expr]

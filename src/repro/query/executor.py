@@ -1,0 +1,212 @@
+"""Query executor.
+
+Runs a :class:`~repro.query.planner.Plan`: produces candidate objects via
+the plan's access path, re-verifies the full predicate (index probes give
+candidates, not answers — the residual and even the probed conjunct are
+re-checked against current state), then applies ordering, projection and
+limit.  Execution statistics (objects examined / matched) feed the
+optimizer experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+
+from ..core.obj import ObjectState
+from ..core.oid import OID
+from ..errors import QueryError
+from . import algebra
+from .ast import AdtPredicate, Query
+from .paths import Deref, evaluate_path
+from .planner import (
+    AccessPath,
+    AdtIndexProbe,
+    ExtentScan,
+    IndexEqProbe,
+    IndexInProbe,
+    IndexRangeProbe,
+    Plan,
+)
+
+ScanClass = Callable[[str], Iterable[ObjectState]]
+Sender = Callable[..., Any]
+
+
+class ExecutionStats:
+    __slots__ = ("examined", "matched", "index_probes")
+
+    def __init__(self) -> None:
+        self.examined = 0
+        self.matched = 0
+        self.index_probes = 0
+
+
+class ResultSet:
+    """Query results.
+
+    ``oids`` is always populated (in result order).  For projection
+    queries ``rows`` holds dicts keyed by dotted path; otherwise callers
+    materialize handles through the database.
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        plan: Plan,
+        oids: List[OID],
+        rows: Optional[List[Dict[str, Any]]],
+        stats: ExecutionStats,
+    ) -> None:
+        self.query = query
+        self.plan = plan
+        self.oids = oids
+        self.rows = rows
+        self.stats = stats
+
+    def __len__(self) -> int:
+        return len(self.rows) if self.rows is not None else len(self.oids)
+
+    def __repr__(self) -> str:
+        return "<ResultSet %d results via %s>" % (len(self), self.plan.access.description)
+
+
+class Executor:
+    """Plan interpreter over the database's storage-facing callables."""
+
+    def __init__(
+        self,
+        deref: Deref,
+        scan_class: ScanClass,
+        send: Optional[Sender] = None,
+        adt_eval: Optional[Callable[[AdtPredicate, ObjectState], bool]] = None,
+    ) -> None:
+        self._deref = deref
+        self._scan_class = scan_class
+        self._send = send
+        self._adt_eval = adt_eval
+
+    def execute(self, plan: Plan) -> ResultSet:
+        stats = ExecutionStats()
+        candidates = self._candidates(plan, stats)
+
+        matched: List[ObjectState] = []
+        where = plan.query.where
+        for state in candidates:
+            stats.examined += 1
+            if state.class_name not in plan.scope:
+                continue
+            if where is not None and not algebra.evaluate_predicate(
+                where, state, self._deref, self._send, self._adt_eval
+            ):
+                continue
+            stats.matched += 1
+            matched.append(state)
+
+        query = plan.query
+        if query.aggregates:
+            rows = self._aggregate(query, matched)
+            return ResultSet(query, plan, [], rows, stats)
+        if query.order_by is not None:
+            matched = algebra.order_by(
+                matched, query.order_by.steps, self._deref, query.descending
+            )
+        else:
+            matched.sort(key=lambda s: s.oid.value)
+        if query.limit is not None:
+            matched = matched[: query.limit]
+
+        oids = [state.oid for state in matched]
+        rows: Optional[List[Dict[str, Any]]] = None
+        if query.projections is not None:
+            rows = list(
+                algebra.project(
+                    matched, [p.steps for p in query.projections], self._deref
+                )
+            )
+        return ResultSet(query, plan, oids, rows, stats)
+
+    # -- aggregation ----------------------------------------------------------
+
+    def _aggregate(self, query: Query, matched: List[ObjectState]) -> List[Dict[str, Any]]:
+        """Fold matched objects into per-group summary rows."""
+        groups: Dict[Any, List[ObjectState]] = {}
+        if query.group_by is None:
+            groups[None] = matched
+        else:
+            for state in matched:
+                values = evaluate_path(state, query.group_by.steps, self._deref)
+                key = values[0] if values else None
+                groups.setdefault(key, []).append(state)
+
+        from ..index.btree import normalize_key
+
+        rows: List[Dict[str, Any]] = []
+        for key in sorted(groups, key=lambda k: (k is None, normalize_key(k) if k is not None else 0)):
+            members = groups[key]
+            row: Dict[str, Any] = {}
+            if query.group_by is not None:
+                row[query.group_by.dotted()] = key
+            for aggregate in query.aggregates or []:
+                row[aggregate.label()] = self._fold(aggregate, members)
+            rows.append(row)
+        return rows
+
+    def _fold(self, aggregate, members: List[ObjectState]) -> Any:
+        if aggregate.path is None:  # count(*)
+            return len(members)
+        values = []
+        for state in members:
+            terminal = evaluate_path(state, aggregate.path.steps, self._deref)
+            values.extend(v for v in terminal if v is not None)
+        if aggregate.fn == "count":
+            return len(values)
+        if not values:
+            return None
+        if aggregate.fn == "sum":
+            return sum(values)
+        if aggregate.fn == "avg":
+            return sum(values) / len(values)
+        if aggregate.fn == "min":
+            return min(values)
+        return max(values)
+
+    # -- candidate production -------------------------------------------------
+
+    def _candidates(self, plan: Plan, stats: ExecutionStats) -> Iterator[ObjectState]:
+        access = plan.access
+        if isinstance(access, ExtentScan):
+            return self._scan(access.classes)
+        if isinstance(access, IndexEqProbe):
+            stats.index_probes += 1
+            oids = access.index.lookup_eq(access.value, plan.scope)
+            return self._fetch(oids)
+        if isinstance(access, IndexInProbe):
+            stats.index_probes += 1
+            oids = access.index.lookup_in(access.values, plan.scope)
+            return self._fetch(oids)
+        if isinstance(access, IndexRangeProbe):
+            stats.index_probes += 1
+            oids = access.index.lookup_range(
+                access.low,
+                access.high,
+                access.include_low,
+                access.include_high,
+                plan.scope,
+            )
+            return self._fetch(oids)
+        if isinstance(access, AdtIndexProbe):
+            stats.index_probes += 1
+            oids = [oid for oid in access.probe() if isinstance(oid, OID)]
+            return self._fetch(sorted(set(oids)))
+        raise QueryError("unknown access path %r" % (access,))
+
+    def _scan(self, classes: List[str]) -> Iterator[ObjectState]:
+        for class_name in classes:
+            for state in self._scan_class(class_name):
+                yield state
+
+    def _fetch(self, oids: Iterable[OID]) -> Iterator[ObjectState]:
+        for oid in oids:
+            state = self._deref(oid)
+            if state is not None:
+                yield state

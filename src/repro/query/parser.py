@@ -1,0 +1,396 @@
+"""OQL: the declarative query language surface.
+
+A small SQL-flavoured language over the object model, in the spirit of
+the declarative languages the paper cites for ORION, EXTRA/EXCESS and O2::
+
+    SELECT v FROM Vehicle v
+    WHERE v.weight > 7500 AND v.manufacturer.location = "Detroit"
+
+Scope control:  ``FROM Vehicle v`` evaluates over the class hierarchy
+rooted at Vehicle (the paper's generalization reading); ``FROM ONLY
+Vehicle v`` restricts to direct instances.  Projections (``SELECT v.name,
+v.weight``), method predicates (``v.age() > 10``), ADT predicates
+(``overlaps(r.shape, [0, 0, 4, 4])``), ``ORDER BY`` and ``LIMIT`` are
+supported.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, Optional, Tuple
+
+from ..errors import QuerySyntaxError
+from .ast import (
+    AGGREGATE_FNS,
+    AdtPredicate,
+    Aggregate,
+    And,
+    Comparison,
+    Const,
+    Expr,
+    MethodCall,
+    Not,
+    Or,
+    Path,
+    Query,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<float>-?\d+\.\d+([eE][+-]?\d+)?)
+  | (?P<int>-?\d+)
+  | (?P<string>'([^'\\]|\\.)*'|"([^"\\]|\\.)*")
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|!=|<>|=|<|>)
+  | (?P<punct>[(),.\[\]*])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select",
+    "from",
+    "only",
+    "where",
+    "and",
+    "or",
+    "not",
+    "in",
+    "like",
+    "contains",
+    "order",
+    "group",
+    "by",
+    "asc",
+    "desc",
+    "limit",
+    "true",
+    "false",
+    "null",
+}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "pos")
+
+    def __init__(self, kind: str, text: str, pos: int) -> None:
+        self.kind = kind
+        self.text = text
+        self.pos = pos
+
+    def __repr__(self) -> str:
+        return "%s(%r)" % (self.kind, self.text)
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise QuerySyntaxError(
+                "unexpected character %r at position %d" % (text[pos], pos)
+            )
+        kind = match.lastgroup or ""
+        value = match.group()
+        pos = match.end()
+        if kind == "ws":
+            continue
+        if kind == "name" and value.lower() in _KEYWORDS:
+            tokens.append(_Token("kw", value.lower(), match.start()))
+        else:
+            tokens.append(_Token(kind, value, match.start()))
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+        self.variable: Optional[str] = None
+        self._group_select_paths: List[Path] = []
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def _advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self._peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            raise QuerySyntaxError(
+                "expected %s%s at position %d, found %r in %r"
+                % (kind, " %r" % text if text else "", token.pos, token.text, self.text)
+            )
+        return self._advance()
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        token = self._peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self._advance()
+        return None
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse(self) -> Query:
+        self._expect("kw", "select")
+        select_items = self._parse_select_list()
+        self._expect("kw", "from")
+        hierarchy = self._accept("kw", "only") is None
+        target = self._expect("name").text
+        self.variable = self._expect("name").text
+
+        projections, aggregates = self._resolve_select_items(select_items)
+
+        where: Optional[Expr] = None
+        if self._accept("kw", "where"):
+            where = self._parse_or()
+
+        group_by: Optional[Path] = None
+        if self._accept("kw", "group"):
+            self._expect("kw", "by")
+            group_by = self._parse_path()
+        for plain in getattr(self, "_group_select_paths", []):
+            if group_by is None or plain != group_by:
+                raise QuerySyntaxError(
+                    "select item %r must match the GROUP BY path" % plain.dotted()
+                )
+
+        order_by: Optional[Path] = None
+        descending = False
+        if self._accept("kw", "order"):
+            self._expect("kw", "by")
+            order_by = self._parse_path()
+            if self._accept("kw", "desc"):
+                descending = True
+            else:
+                self._accept("kw", "asc")
+
+        limit: Optional[int] = None
+        if self._accept("kw", "limit"):
+            limit = int(self._expect("int").text)
+            if limit < 0:
+                raise QuerySyntaxError("LIMIT must be non-negative")
+
+        self._expect("eof")
+        return Query(
+            target_class=target,
+            variable=self.variable,
+            where=where,
+            hierarchy=hierarchy,
+            projections=projections,
+            order_by=order_by,
+            descending=descending,
+            limit=limit,
+            aggregates=aggregates,
+            group_by=group_by,
+        )
+
+    def _parse_select_list(self) -> List[tuple]:
+        """Raw select items: ('path', dotted) or ('agg', fn, dotted|None).
+
+        Names are resolved against the variable after FROM is parsed.
+        """
+        items = [self._parse_select_item()]
+        while self._accept("punct", ","):
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> tuple:
+        token = self._peek()
+        if (
+            token.kind == "name"
+            and token.text.lower() in AGGREGATE_FNS
+            and self.tokens[self.index + 1].kind == "punct"
+            and self.tokens[self.index + 1].text == "("
+        ):
+            fn = self._advance().text
+            self._expect("punct", "(")
+            if self._accept("punct", "*"):
+                inner: Optional[List[str]] = None
+            else:
+                inner = self._parse_dotted()
+            self._expect("punct", ")")
+            return ("agg", fn, inner)
+        return ("path", self._parse_dotted())
+
+    def _parse_dotted(self) -> List[str]:
+        if self._accept("punct", "*"):
+            return ["*"]
+        parts = [self._expect("name").text]
+        while self._accept("punct", "."):
+            parts.append(self._expect("name").text)
+        return parts
+
+    def _resolve_select_items(self, items: List[tuple]):
+        """Split raw select items into (projections, aggregates)."""
+        aggregates = [item for item in items if item[0] == "agg"]
+        paths = [item[1] for item in items if item[0] == "path"]
+        if aggregates:
+            resolved = []
+            for _tag, fn, inner in aggregates:
+                if inner is None or inner == [self.variable]:
+                    resolved.append(Aggregate(fn, None))
+                else:
+                    resolved.append(Aggregate(fn, self._to_path(inner)))
+            # Plain paths next to aggregates must match GROUP BY; checked
+            # after the GROUP BY clause is parsed.
+            self._group_select_paths = [self._to_path(item) for item in paths]
+            return None, resolved
+        # "SELECT v" or "SELECT *" -> whole objects; otherwise projections.
+        if len(paths) == 1 and paths[0] in ([self.variable], ["*"]):
+            return None, None
+        projections = []
+        for item in paths:
+            if item == ["*"]:
+                raise QuerySyntaxError("* cannot be combined with projections")
+            projections.append(self._to_path(item))
+        return projections, None
+
+    def _to_path(self, item: List[str]) -> Path:
+        if item[0] != self.variable:
+            raise QuerySyntaxError(
+                "select item %r does not start with variable %r"
+                % (".".join(item), self.variable)
+            )
+        if len(item) == 1:
+            raise QuerySyntaxError("bare variable cannot appear in a projection list")
+        return Path(item[1:])
+
+    def _parse_or(self) -> Expr:
+        operands = [self._parse_and()]
+        while self._accept("kw", "or"):
+            operands.append(self._parse_and())
+        return operands[0] if len(operands) == 1 else Or(operands)
+
+    def _parse_and(self) -> Expr:
+        operands = [self._parse_not()]
+        while self._accept("kw", "and"):
+            operands.append(self._parse_not())
+        return operands[0] if len(operands) == 1 else And(operands)
+
+    def _parse_not(self) -> Expr:
+        if self._accept("kw", "not"):
+            return Not(self._parse_not())
+        if self._accept("punct", "("):
+            inner = self._parse_or()
+            self._expect("punct", ")")
+            return inner
+        return self._parse_predicate()
+
+    def _parse_path(self) -> Path:
+        parts = self._parse_dotted()
+        if parts[0] != self.variable:
+            raise QuerySyntaxError(
+                "path %r does not start with variable %r"
+                % (".".join(parts), self.variable)
+            )
+        if len(parts) == 1:
+            raise QuerySyntaxError("a path needs at least one attribute")
+        return Path(parts[1:])
+
+    def _parse_predicate(self) -> Expr:
+        token = self._peek()
+        if token.kind != "name":
+            raise QuerySyntaxError(
+                "expected a predicate at position %d, found %r" % (token.pos, token.text)
+            )
+        # ADT predicate: name '(' path, literals ')'
+        if token.text != self.variable:
+            return self._parse_adt_predicate()
+        parts = self._parse_dotted()
+        if self._accept("punct", "("):
+            return self._parse_method_call(parts)
+        if parts[0] != self.variable or len(parts) == 1:
+            raise QuerySyntaxError(
+                "predicate path %r must start with %r" % (".".join(parts), self.variable)
+            )
+        path = Path(parts[1:])
+        return self._parse_comparison_tail(path)
+
+    def _parse_comparison_tail(self, path: Path) -> Expr:
+        if self._accept("kw", "like"):
+            literal = self._parse_literal()
+            return Comparison("like", path, Const(literal))
+        if self._accept("kw", "contains"):
+            literal = self._parse_literal()
+            return Comparison("contains", path, Const(literal))
+        if self._accept("kw", "in"):
+            self._expect("punct", "(")
+            values = [self._parse_literal()]
+            while self._accept("punct", ","):
+                values.append(self._parse_literal())
+            self._expect("punct", ")")
+            return Comparison("in", path, Const(values))
+        op_token = self._expect("op")
+        op = "!=" if op_token.text == "<>" else op_token.text
+        literal = self._parse_literal()
+        return Comparison(op, path, Const(literal))
+
+    def _parse_method_call(self, parts: List[str]) -> Expr:
+        args: List[Any] = []
+        if not self._accept("punct", ")"):
+            args.append(self._parse_literal())
+            while self._accept("punct", ","):
+                args.append(self._parse_literal())
+            self._expect("punct", ")")
+        selector = parts[-1]
+        prefix = parts[1:-1]
+        path = Path(prefix) if prefix else None
+        token = self._peek()
+        if token.kind == "op":
+            op = "!=" if self._advance().text == "<>" else token.text
+            literal = self._parse_literal()
+            return MethodCall(path, selector, args, op, Const(literal))
+        return MethodCall(path, selector, args)
+
+    def _parse_adt_predicate(self) -> Expr:
+        name = self._expect("name").text
+        self._expect("punct", "(")
+        path = self._parse_path()
+        args: List[Any] = []
+        while self._accept("punct", ","):
+            args.append(self._parse_literal())
+        self._expect("punct", ")")
+        return AdtPredicate(name, path, args)
+
+    def _parse_literal(self) -> Any:
+        token = self._peek()
+        if token.kind == "int":
+            self._advance()
+            return int(token.text)
+        if token.kind == "float":
+            self._advance()
+            return float(token.text)
+        if token.kind == "string":
+            self._advance()
+            body = token.text[1:-1]
+            return body.replace("\\'", "'").replace('\\"', '"').replace("\\\\", "\\")
+        if token.kind == "kw" and token.text in ("true", "false", "null"):
+            self._advance()
+            return {"true": True, "false": False, "null": None}[token.text]
+        if token.kind == "punct" and token.text == "[":
+            self._advance()
+            values: List[Any] = []
+            if not self._accept("punct", "]"):
+                values.append(self._parse_literal())
+                while self._accept("punct", ","):
+                    values.append(self._parse_literal())
+                self._expect("punct", "]")
+            return values
+        raise QuerySyntaxError(
+            "expected a literal at position %d, found %r" % (token.pos, token.text)
+        )
+
+
+def parse_query(text: str) -> Query:
+    """Parse OQL text into a :class:`~repro.query.ast.Query`."""
+    return _Parser(text).parse()

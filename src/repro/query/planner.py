@@ -1,0 +1,255 @@
+"""Query planner.
+
+Section 2.2 of the paper recalls that declarative queries made "a major
+new component, namely the query optimizer" necessary.  The kimdb planner
+performs the OODB version of System-R-style access-path selection
+[SELI79]: it determines the evaluation scope (class vs. class hierarchy),
+extracts sargable conjuncts, matches them against available single-class,
+class-hierarchy and nested-attribute indexes, estimates costs, and falls
+back to an extent scan when no index wins (experiment E7's crossover).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Set, Tuple
+
+from ..core.schema import Schema
+from ..errors import PlanningError
+from ..index.base import Index
+from ..index.manager import IndexManager
+from .ast import AdtPredicate, Comparison, Expr, Query, conjuncts
+from .paths import validate_path
+
+#: Returns the number of direct instances of a class.
+ExtentCount = Callable[[str], int]
+
+
+class AccessPath:
+    """How candidate objects are produced."""
+
+    description = "abstract"
+
+
+class ExtentScan(AccessPath):
+    """Scan the direct extents of every class in scope."""
+
+    def __init__(self, classes: Sequence[str]) -> None:
+        self.classes = list(classes)
+        self.description = "scan(%s)" % ", ".join(self.classes)
+
+
+class IndexEqProbe(AccessPath):
+    def __init__(self, index: Index, value: Any) -> None:
+        self.index = index
+        self.value = value
+        self.description = "index-eq(%s = %r)" % (index.name, value)
+
+
+class IndexInProbe(AccessPath):
+    def __init__(self, index: Index, values: Sequence[Any]) -> None:
+        self.index = index
+        self.values = list(values)
+        self.description = "index-in(%s in %r)" % (index.name, self.values)
+
+
+class IndexRangeProbe(AccessPath):
+    def __init__(
+        self,
+        index: Index,
+        low: Any,
+        high: Any,
+        include_low: bool,
+        include_high: bool,
+    ) -> None:
+        self.index = index
+        self.low = low
+        self.high = high
+        self.include_low = include_low
+        self.include_high = include_high
+        self.description = "index-range(%s in %s%r, %r%s)" % (
+            index.name,
+            "[" if include_low else "(",
+            low,
+            high,
+            "]" if include_high else ")",
+        )
+
+
+class AdtIndexProbe(AccessPath):
+    """Probe a registered ADT access method (e.g. a spatial grid)."""
+
+    def __init__(self, predicate: AdtPredicate, probe: Callable[[], List[Any]]) -> None:
+        self.predicate = predicate
+        self.probe = probe
+        self.description = "adt-index(%s on %s)" % (
+            predicate.name,
+            predicate.path.dotted(),
+        )
+
+
+class Plan:
+    """An executable plan: access path + residual filter + finishing."""
+
+    def __init__(
+        self,
+        query: Query,
+        scope: Set[str],
+        access: AccessPath,
+        residual: Optional[Expr],
+        estimated_cost: float,
+        notes: Optional[List[str]] = None,
+    ) -> None:
+        self.query = query
+        self.scope = scope
+        self.access = access
+        self.residual = residual
+        self.estimated_cost = estimated_cost
+        self.notes = notes or []
+
+    def explain(self) -> str:
+        lines = [
+            "target: %s%s"
+            % (self.query.target_class, "" if self.query.hierarchy else " (ONLY)"),
+            "scope: %s" % ", ".join(sorted(self.scope)),
+            "access: %s" % self.access.description,
+            "residual: %r" % (self.residual,),
+            "estimated cost: %.1f" % self.estimated_cost,
+        ]
+        lines.extend("note: %s" % note for note in self.notes)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return "<Plan %s cost=%.1f>" % (self.access.description, self.estimated_cost)
+
+
+class Planner:
+    """Chooses an access path for a query."""
+
+    #: Assumed fraction of index entries matched by a one-sided range —
+    #: a deliberately crude System-R style magic constant, used only when
+    #: the B+-tree cannot interpolate (non-numeric keys).
+    RANGE_SELECTIVITY = 1.0 / 3.0
+
+    #: Cost multiplier for index-driven access: each candidate is a
+    #: random fetch (directory lookup + page access) whereas a scan reads
+    #: extents sequentially.  Makes near-whole-extent ranges lose to the
+    #: scan, as they should.
+    INDEX_PROBE_PENALTY = 1.2
+
+    def __init__(
+        self,
+        schema: Schema,
+        indexes: IndexManager,
+        extent_count: ExtentCount,
+        adt_registry=None,
+    ) -> None:
+        self.schema = schema
+        self.indexes = indexes
+        self.extent_count = extent_count
+        self.adt_registry = adt_registry
+
+    # -- public API --------------------------------------------------------
+
+    def plan(self, query: Query) -> Plan:
+        scope = self._scope_of(query)
+        self._validate(query, scope)
+        scan_cost = float(sum(self.extent_count(cls) for cls in scope))
+
+        best: Optional[Tuple[float, AccessPath, List[Expr]]] = None
+        predicates = conjuncts(query.where)
+        for position, predicate in enumerate(predicates):
+            candidate = self._index_candidate(query, predicate, scope)
+            if candidate is None:
+                continue
+            cost, access = candidate
+            cost *= self.INDEX_PROBE_PENALTY
+            if best is None or cost < best[0]:
+                residual = predicates[:position] + predicates[position + 1 :]
+                best = (cost, access, residual)
+
+        notes: List[str] = []
+        if best is not None and best[0] < scan_cost:
+            cost, access, residual_list = best
+            residual = _and_together(residual_list)
+            notes.append(
+                "index access chosen: est %.1f vs scan %.1f" % (cost, scan_cost)
+            )
+            return Plan(query, scope, access, residual, cost, notes)
+        if best is not None:
+            notes.append(
+                "index available but scan cheaper: est %.1f vs scan %.1f"
+                % (best[0], scan_cost)
+            )
+        return Plan(query, scope, ExtentScan(sorted(scope)), query.where, scan_cost, notes)
+
+    # -- internals -------------------------------------------------------------
+
+    def _scope_of(self, query: Query) -> Set[str]:
+        if query.hierarchy:
+            return set(self.schema.hierarchy_of(query.target_class))
+        return {query.target_class}
+
+    def _validate(self, query: Query, scope: Set[str]) -> None:
+        self.schema.get_class(query.target_class)
+        for predicate in conjuncts(query.where):
+            if isinstance(predicate, Comparison):
+                validate_path(self.schema, query.target_class, predicate.path.steps)
+        for path in query.projections or []:
+            validate_path(self.schema, query.target_class, path.steps)
+        for aggregate in query.aggregates or []:
+            if aggregate.path is not None:
+                validate_path(self.schema, query.target_class, aggregate.path.steps)
+        if query.group_by is not None:
+            validate_path(self.schema, query.target_class, query.group_by.steps)
+        if query.order_by is not None:
+            validate_path(self.schema, query.target_class, query.order_by.steps)
+        if not scope:
+            raise PlanningError("empty evaluation scope for %r" % (query,))
+
+    def _index_candidate(
+        self, query: Query, predicate: Expr, scope: Set[str]
+    ) -> Optional[Tuple[float, AccessPath]]:
+        if isinstance(predicate, AdtPredicate) and self.adt_registry is not None:
+            probe = self.adt_registry.access_method(
+                predicate.name, query.target_class, predicate.path.steps, predicate.args
+            )
+            if probe is not None:
+                estimated = probe.estimated_matches()
+                return float(estimated), AdtIndexProbe(predicate, probe.run)
+            return None
+        if not isinstance(predicate, Comparison):
+            return None
+        index = self.indexes.find_index(query.target_class, predicate.path.steps, scope)
+        if index is None:
+            return None
+        value = predicate.const.value
+        if predicate.op in ("=", "contains"):
+            cost = float(len(index.tree.search(value)))
+            return cost, IndexEqProbe(index, value)
+        if predicate.op == "in":
+            cost = float(sum(len(index.tree.search(v)) for v in value))
+            return cost, IndexInProbe(index, value)
+        if predicate.op in ("<", "<=", ">", ">="):
+            if predicate.op in ("<", "<="):
+                cost = float(index.tree.estimate_range(high=value))
+            else:
+                cost = float(index.tree.estimate_range(low=value))
+            if predicate.op == "<":
+                return cost, IndexRangeProbe(index, None, value, True, False)
+            if predicate.op == "<=":
+                return cost, IndexRangeProbe(index, None, value, True, True)
+            if predicate.op == ">":
+                return cost, IndexRangeProbe(index, value, None, False, True)
+            return cost, IndexRangeProbe(index, value, None, True, True)
+        # != and LIKE are not sargable.
+        return None
+
+
+def _and_together(predicates: List[Expr]) -> Optional[Expr]:
+    from .ast import And
+
+    if not predicates:
+        return None
+    if len(predicates) == 1:
+        return predicates[0]
+    return And(predicates)

@@ -1,0 +1,6 @@
+"""Relational baseline engine (tables, selections, joins)."""
+
+from .engine import RelationalEngine, RelationalStats
+from .table import Column, Table
+
+__all__ = ["RelationalEngine", "RelationalStats", "Column", "Table"]

@@ -1,0 +1,251 @@
+"""Relational tables — the fourth-generation baseline.
+
+The paper argues OODB advantages *relative to* relational systems, so the
+reproduction needs an honest relational substrate: typed tables with
+primary keys, secondary B+-tree indexes and update-in-place rows.  The
+engine on top (:mod:`repro.relational.engine`) supplies scans and joins.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import KimDBError
+from ..index.btree import BTree
+from ..core.oid import OID
+
+#: Column types understood by the relational layer.
+COLUMN_TYPES = ("int", "float", "str", "bool", "any")
+
+_CHECKS: Dict[str, Callable[[Any], bool]] = {
+    "int": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "float": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "str": lambda v: isinstance(v, str),
+    "bool": lambda v: isinstance(v, bool),
+    "any": lambda v: True,
+}
+
+
+class Column:
+    __slots__ = ("name", "type", "nullable")
+
+    def __init__(self, name: str, type: str = "any", nullable: bool = True) -> None:
+        if type not in COLUMN_TYPES:
+            raise KimDBError("unknown column type %r" % (type,))
+        self.name = name
+        self.type = type
+        self.nullable = nullable
+
+    def check(self, value: Any) -> None:
+        if value is None:
+            if not self.nullable:
+                raise KimDBError("column %r is NOT NULL" % (self.name,))
+            return
+        if not _CHECKS[self.type](value):
+            raise KimDBError(
+                "column %r expects %s, got %r" % (self.name, self.type, value)
+            )
+
+    def __repr__(self) -> str:
+        return "<Column %s %s%s>" % (
+            self.name,
+            self.type,
+            "" if self.nullable else " NOT NULL",
+        )
+
+
+class Table:
+    """Rows keyed by a synthetic row id; optional unique primary key.
+
+    Two storage modes:
+
+    * **memory** (default) — rows live in a dict; the idealized baseline.
+    * **paged** — rows are serialized onto slotted pages through a
+      :class:`~repro.storage.manager.StorageManager` heap, so every row
+      access pays decode + buffer-manager costs, like a real
+      fourth-generation system.  This is the honest comparator for the
+      paper's traversal claims (an application never holds direct
+      pointers into a relational system's page buffers).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        primary_key: Optional[str] = None,
+        store=None,
+    ) -> None:
+        self.name = name
+        self.columns = list(columns)
+        self._by_name = {c.name: c for c in self.columns}
+        if len(self._by_name) != len(self.columns):
+            raise KimDBError("duplicate column names in table %r" % (name,))
+        if primary_key is not None and primary_key not in self._by_name:
+            raise KimDBError(
+                "primary key %r is not a column of %r" % (primary_key, name)
+            )
+        self.primary_key = primary_key
+        self._store = store
+        self._heap = store.heap_for("table:" + name) if store is not None else None
+        #: memory mode: row_id -> row dict; paged mode: row_id -> RID.
+        self._rows: Dict[int, Any] = {}
+        self._next_row_id = 1
+        self._pk_index: Dict[Any, int] = {}
+        #: column -> secondary BTree (reusing the shared substrate; the
+        #: entry "class" slot carries the table name).
+        self._indexes: Dict[str, BTree] = {}
+
+    @property
+    def paged(self) -> bool:
+        return self._heap is not None
+
+    # -- row materialization (paged mode pays decode per access) ---------
+
+    def _materialize(self, stored: Any) -> Dict[str, Any]:
+        if self._heap is None:
+            return dict(stored)
+        from ..storage.serializer import decode_object
+
+        return dict(decode_object(self._heap.read(stored)).values)
+
+    def _persist(self, row_id: int, clean: Dict[str, Any], old=None):
+        if self._heap is None:
+            return clean
+        from ..core.obj import ObjectState
+        from ..core.oid import OID
+        from ..storage.serializer import encode_object
+
+        record = encode_object(ObjectState(OID(row_id), self.name, clean))
+        if old is None:
+            return self._heap.insert(record)
+        return self._heap.update(old, record)
+
+    # -- schema ---------------------------------------------------------------
+
+    def column_names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    def has_index(self, column: str) -> bool:
+        return column in self._indexes
+
+    def create_index(self, column: str) -> None:
+        if column not in self._by_name:
+            raise KimDBError("no column %r in table %r" % (column, self.name))
+        if column in self._indexes:
+            raise KimDBError("index on %s.%s already exists" % (self.name, column))
+        tree = BTree()
+        for row_id, stored in self._rows.items():
+            row = self._materialize(stored)
+            tree.insert(row.get(column), self.name, OID(row_id))
+        self._indexes[column] = tree
+
+    # -- mutation -----------------------------------------------------------------
+
+    def _check_row(self, row: Dict[str, Any]) -> Dict[str, Any]:
+        clean = {}
+        for column in self.columns:
+            value = row.get(column.name)
+            column.check(value)
+            clean[column.name] = value
+        unknown = set(row) - set(self._by_name)
+        if unknown:
+            raise KimDBError(
+                "unknown columns %s for table %r" % (sorted(unknown), self.name)
+            )
+        return clean
+
+    def insert(self, row: Dict[str, Any]) -> int:
+        clean = self._check_row(row)
+        if self.primary_key is not None:
+            key = clean.get(self.primary_key)
+            if key in self._pk_index:
+                raise KimDBError(
+                    "duplicate primary key %r in table %r" % (key, self.name)
+                )
+        row_id = self._next_row_id
+        self._next_row_id += 1
+        self._rows[row_id] = self._persist(row_id, clean)
+        if self.primary_key is not None:
+            self._pk_index[clean[self.primary_key]] = row_id
+        for column, tree in self._indexes.items():
+            tree.insert(clean.get(column), self.name, OID(row_id))
+        return row_id
+
+    def update(self, row_id: int, changes: Dict[str, Any]) -> None:
+        stored = self._rows.get(row_id)
+        if stored is None:
+            raise KimDBError("no row %d in table %r" % (row_id, self.name))
+        row = self._materialize(stored)
+        new_row = dict(row)
+        new_row.update(changes)
+        clean = self._check_row(new_row)
+        if self.primary_key is not None and self.primary_key in changes:
+            old_key = row[self.primary_key]
+            new_key = clean[self.primary_key]
+            if new_key != old_key and new_key in self._pk_index:
+                raise KimDBError(
+                    "duplicate primary key %r in table %r" % (new_key, self.name)
+                )
+            del self._pk_index[old_key]
+            self._pk_index[new_key] = row_id
+        for column, tree in self._indexes.items():
+            if column in changes and clean.get(column) != row.get(column):
+                tree.remove(row.get(column), self.name, OID(row_id))
+                tree.insert(clean.get(column), self.name, OID(row_id))
+        if self.paged:
+            self._rows[row_id] = self._persist(row_id, clean, old=stored)
+        else:
+            self._rows[row_id] = clean
+
+    def delete(self, row_id: int) -> None:
+        stored = self._rows.pop(row_id, None)
+        if stored is None:
+            raise KimDBError("no row %d in table %r" % (row_id, self.name))
+        row = self._materialize(stored)
+        if self.paged:
+            self._heap.delete(stored)
+        if self.primary_key is not None:
+            self._pk_index.pop(row[self.primary_key], None)
+        for column, tree in self._indexes.items():
+            tree.remove(row.get(column), self.name, OID(row_id))
+
+    # -- access ------------------------------------------------------------------------
+
+    def scan(self) -> Iterator[Tuple[int, Dict[str, Any]]]:
+        for row_id in sorted(self._rows):
+            yield row_id, self._materialize(self._rows[row_id])
+
+    def get(self, row_id: int) -> Dict[str, Any]:
+        stored = self._rows.get(row_id)
+        if stored is None:
+            raise KimDBError("no row %d in table %r" % (row_id, self.name))
+        return self._materialize(stored)
+
+    def by_primary_key(self, key: Any) -> Optional[Dict[str, Any]]:
+        if self.primary_key is None:
+            raise KimDBError("table %r has no primary key" % (self.name,))
+        row_id = self._pk_index.get(key)
+        if row_id is None:
+            return None
+        return self._materialize(self._rows[row_id])
+
+    def index_lookup(self, column: str, value: Any) -> List[Dict[str, Any]]:
+        tree = self._indexes.get(column)
+        if tree is None:
+            raise KimDBError("no index on %s.%s" % (self.name, column))
+        out = []
+        for _table, row_oid in tree.search(value):
+            stored = self._rows.get(row_oid.value)
+            if stored is not None:
+                out.append(self._materialize(stored))
+        return out
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:
+        return "<Table %s: %d rows, %d columns>" % (
+            self.name,
+            len(self._rows),
+            len(self.columns),
+        )

@@ -1,0 +1,17 @@
+"""Deductive capabilities: rules, inference, truth maintenance."""
+
+from .engine import ClassMapping, Fact, Literal, Rule, RuleEngine, Var, fact, rule
+from .truth import Contradiction, TruthMaintenance
+
+__all__ = [
+    "ClassMapping",
+    "Fact",
+    "Literal",
+    "Rule",
+    "RuleEngine",
+    "Var",
+    "fact",
+    "rule",
+    "Contradiction",
+    "TruthMaintenance",
+]

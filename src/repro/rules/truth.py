@@ -1,0 +1,158 @@
+"""Truth maintenance and contradiction resolution (Section 5.4).
+
+"An object-oriented database system will become a deductive
+object-oriented database system once it can directly support rules and
+various reasoning concepts, such as truth maintenance and contradiction
+resolution."
+
+:class:`TruthMaintenance` wraps a rule engine:
+
+* ``why(fact)`` explains a derived fact by its justification tree;
+* retracting a base fact automatically withdraws every derivation that
+  no longer has independent support (implemented by recomputing the
+  fixpoint — monotone datalog makes this exact);
+* contradiction pairs (``p`` vs ``not_p``) are declared up front; after
+  inference, conflicting fact pairs are detected and resolved by the
+  configured strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..errors import RuleError
+from .engine import Fact, RuleEngine, fact
+
+
+class Contradiction:
+    """A detected conflict: the same arguments in both predicates."""
+
+    __slots__ = ("positive", "negative", "args")
+
+    def __init__(self, positive: Fact, negative: Fact) -> None:
+        self.positive = positive
+        self.negative = negative
+        self.args = positive[1]
+
+    def __repr__(self) -> str:
+        return "<Contradiction %r vs %r>" % (self.positive, self.negative)
+
+
+class TruthMaintenance:
+    """Justification bookkeeping + contradiction detection/resolution."""
+
+    #: Resolution strategies: raise, report (collect), or prefer one side.
+    STRATEGIES = ("raise", "report", "prefer_positive", "prefer_negative")
+
+    def __init__(self, engine: RuleEngine, strategy: str = "raise") -> None:
+        if strategy not in self.STRATEGIES:
+            raise RuleError(
+                "unknown contradiction strategy %r (expected one of %s)"
+                % (strategy, ", ".join(self.STRATEGIES))
+            )
+        self.engine = engine
+        self.strategy = strategy
+        self._contradiction_pairs: List[Tuple[str, str]] = []
+        self.detected: List[Contradiction] = []
+        #: Facts suppressed by a prefer_* resolution.
+        self.suppressed: Set[Fact] = set()
+
+    # -- declarations ----------------------------------------------------------
+
+    def declare_contradiction(self, positive_pred: str, negative_pred: str) -> None:
+        self._contradiction_pairs.append((positive_pred, negative_pred))
+
+    # -- explanation ------------------------------------------------------------
+
+    def why(self, predicate: str, *args: Any) -> List[Tuple[str, List[Fact]]]:
+        """Justifications of a fact: (rule name, supporting facts) pairs.
+
+        Base facts return an empty list (they are self-justifying);
+        unknown facts raise.
+        """
+        if not self.engine._fresh:
+            self.engine.infer()
+        goal = fact(predicate, *args)
+        if goal not in self.engine._all_known:
+            raise RuleError("fact %r is not known" % (goal,))
+        entries = self.engine.justifications.get(goal, [])
+        return [(name, sorted(support, key=repr)) for name, support in entries]
+
+    def support_closure(self, predicate: str, *args: Any) -> Set[Fact]:
+        """All base facts a derived fact ultimately rests on."""
+        if not self.engine._fresh:
+            self.engine.infer()
+        goal = fact(predicate, *args)
+        closure: Set[Fact] = set()
+        frontier = [goal]
+        seen: Set[Fact] = set()
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            entries = self.engine.justifications.get(current)
+            if not entries:
+                closure.add(current)  # base (or mapped) fact
+                continue
+            _name, support = entries[0]
+            frontier.extend(support)
+        closure.discard(goal)
+        return closure
+
+    # -- retraction (truth maintenance proper) ------------------------------------
+
+    def retract(self, predicate: str, *args: Any) -> Set[Fact]:
+        """Retract a base fact; returns the derived facts that fell out."""
+        before = set(self.engine._derived) if self.engine._fresh else self.engine.infer()
+        removed = self.engine.retract_fact(predicate, *args)
+        if not removed:
+            raise RuleError("fact %s%r is not a base fact" % (predicate, args))
+        after = self.engine.infer()
+        return before - after
+
+    # -- contradictions ---------------------------------------------------------------
+
+    def check(self) -> List[Contradiction]:
+        """Detect (and per strategy resolve) contradictions."""
+        if not self.engine._fresh:
+            self.engine.infer()
+        self.detected = []
+        known = self.engine._all_known
+        by_pred: Dict[str, Set[Fact]] = {}
+        for entry in known:
+            by_pred.setdefault(entry[0], set()).add(entry)
+        for positive_pred, negative_pred in self._contradiction_pairs:
+            negatives = {entry[1]: entry for entry in by_pred.get(negative_pred, ())}
+            for positive in by_pred.get(positive_pred, ()):
+                negative = negatives.get(positive[1])
+                if negative is not None:
+                    self.detected.append(Contradiction(positive, negative))
+        if not self.detected:
+            return []
+        if self.strategy == "raise":
+            first = self.detected[0]
+            raise RuleError(
+                "contradiction: %r and %r both hold (supports: %s / %s)"
+                % (
+                    first.positive,
+                    first.negative,
+                    sorted(self.support_closure(*_split(first.positive)), key=repr),
+                    sorted(self.support_closure(*_split(first.negative)), key=repr),
+                )
+            )
+        if self.strategy in ("prefer_positive", "prefer_negative"):
+            for conflict in self.detected:
+                loser = (
+                    conflict.negative
+                    if self.strategy == "prefer_positive"
+                    else conflict.positive
+                )
+                self.suppressed.add(loser)
+                self.engine._all_known.discard(loser)
+                self.engine._derived.discard(loser)
+        return list(self.detected)
+
+
+def _split(entry: Fact):
+    return (entry[0],) + entry[1]

@@ -1,0 +1,12 @@
+"""Semantic modeling extensions: roles [PERN90], temporal data."""
+
+from .roles import RoleManager, attach_roles
+from .temporal import HistoryEntry, TemporalManager, attach_temporal
+
+__all__ = [
+    "RoleManager",
+    "attach_roles",
+    "HistoryEntry",
+    "TemporalManager",
+    "attach_temporal",
+]

@@ -1,0 +1,136 @@
+"""Buffer manager.
+
+An LRU cache of parsed :class:`~repro.storage.page.SlottedPage` objects in
+front of a pager.  The paper (Section 4.2) frames OODB performance partly
+in terms of how often object access has to cross into the storage layer;
+the buffer pool's ``faults`` counter is the deterministic I/O metric used
+by the clustering and traversal experiments (E4, E6).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, Set
+
+from ..errors import StorageError
+from .page import SlottedPage
+
+
+class BufferStats:
+    """Hit/fault counters for one buffer pool."""
+
+    __slots__ = ("hits", "faults", "evictions", "flushes")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.faults = 0
+        self.evictions = 0
+        self.flushes = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.faults = 0
+        self.evictions = 0
+        self.flushes = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.faults
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "faults": self.faults,
+            "evictions": self.evictions,
+            "flushes": self.flushes,
+        }
+
+
+class BufferPool:
+    """LRU buffer pool over a pager."""
+
+    def __init__(self, pager, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise StorageError("buffer capacity must be >= 1")
+        self.pager = pager
+        self.capacity = capacity
+        self._frames: "OrderedDict[int, SlottedPage]" = OrderedDict()
+        self._dirty: Set[int] = set()
+        self.stats = BufferStats()
+
+    @property
+    def page_size(self) -> int:
+        return self.pager.page_size
+
+    def new_page(self) -> int:
+        """Allocate a fresh page and cache it empty (and dirty)."""
+        page_id = self.pager.allocate()
+        self._admit(page_id, SlottedPage.empty(self.page_size))
+        self._dirty.add(page_id)
+        return page_id
+
+    def get_page(self, page_id: int) -> SlottedPage:
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self._frames.move_to_end(page_id)
+            self.stats.hits += 1
+            return frame
+        self.stats.faults += 1
+        frame = SlottedPage.from_bytes(self.pager.read_page(page_id))
+        self._admit(page_id, frame)
+        return frame
+
+    def mark_dirty(self, page_id: int) -> None:
+        if page_id not in self._frames:
+            raise StorageError("page %d is not resident" % page_id)
+        self._dirty.add(page_id)
+
+    def _admit(self, page_id: int, frame: SlottedPage) -> None:
+        while len(self._frames) >= self.capacity:
+            self._evict_one()
+        self._frames[page_id] = frame
+        self._frames.move_to_end(page_id)
+
+    def _evict_one(self) -> None:
+        victim_id, victim = self._frames.popitem(last=False)
+        if victim_id in self._dirty:
+            self.pager.write_page(victim_id, victim.to_bytes())
+            self._dirty.discard(victim_id)
+            self.stats.flushes += 1
+        self.stats.evictions += 1
+
+    def flush_page(self, page_id: int) -> None:
+        frame = self._frames.get(page_id)
+        if frame is not None and page_id in self._dirty:
+            self.pager.write_page(page_id, frame.to_bytes())
+            self._dirty.discard(page_id)
+            self.stats.flushes += 1
+
+    def flush_all(self) -> None:
+        for page_id in list(self._dirty):
+            self.flush_page(page_id)
+        self.pager.sync()
+
+    def drop_all(self) -> None:
+        """Empty the pool *after* flushing — used to simulate a cold cache."""
+        self.flush_all()
+        self._frames.clear()
+        self._dirty.clear()
+
+    def resident_pages(self) -> Iterator[int]:
+        return iter(list(self._frames))
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __repr__(self) -> str:
+        return "<BufferPool %d/%d pages, %d dirty>" % (
+            len(self._frames),
+            self.capacity,
+            len(self._dirty),
+        )

@@ -1,0 +1,326 @@
+"""Storage manager: the facade over pager, buffer, heaps and directory.
+
+Gives the rest of the system an object-granularity API (store / load /
+overwrite / remove by OID) and owns persistence bootstrap: reopening a
+database rebuilds the directory by scanning the heaps recorded in the
+metadata catalog, so the directory itself never needs to be durable.
+
+**Long objects.**  The paper lists "long unstructured data (such as
+images, audio, and textual documents)" among the post-relational
+requirements.  An encoded object larger than a page spills into an
+overflow heap as a chain of chunks; its class heap holds a small *stub*
+pointing at the chain.  The split is invisible above this module.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..core.obj import ObjectState
+from ..core.oid import OID
+from ..errors import ObjectNotFoundError, StorageError
+from .buffer import BufferPool
+from .directory import ObjectDirectory
+from .heap import RID, HeapFile
+from .pager import DEFAULT_PAGE_SIZE, open_pager
+from .serializer import decode_object, encode_object
+
+
+#: Magic prefix marking a long-object stub record (encode_object output
+#: always starts with an 8-byte big-endian OID, whose first byte is 0 for
+#: any realistic OID, so the prefix cannot collide with a real record).
+_LONG_MAGIC = b"\xffKIMLONG"
+_STUB_HEAD = struct.Struct(">Q")  # oid value
+_CHUNK_REF = struct.Struct(">IH")  # page id, slot
+
+#: Name of the heap holding overflow chunks.
+OVERFLOW_HEAP = "__overflow__"
+
+
+class StorageManager:
+    """Object store: one heap per class, one directory for all OIDs."""
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_capacity: int = 256,
+    ) -> None:
+        self.path = path
+        self.pager = open_pager(path, page_size)
+        self.buffer = BufferPool(self.pager, buffer_capacity)
+        self.directory = ObjectDirectory()
+        self._heaps: Dict[str, HeapFile] = {}
+        self._sticky_extra: Dict[str, Any] = {}
+        if path is not None:
+            self._load_metadata()
+
+    # -- metadata (heap catalogs) -------------------------------------------
+
+    @property
+    def _meta_path(self) -> Optional[str]:
+        return self.path + ".meta" if self.path else None
+
+    def _load_metadata(self) -> None:
+        meta_path = self._meta_path
+        if meta_path is None or not os.path.exists(meta_path):
+            return
+        with open(meta_path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+        for class_name, page_ids in meta.pop("heaps", {}).items():
+            self._heaps[class_name] = HeapFile(self.buffer, class_name, page_ids)
+        self._sticky_extra = meta
+        self.rebuild_directory()
+
+    def save_metadata(self, extra: Optional[Dict[str, Any]] = None) -> None:
+        """Persist heap catalogs (and arbitrary extra metadata) to disk.
+
+        Extra metadata (e.g. the schema catalog) is sticky: once written
+        it is preserved by later saves that do not pass a new value.
+        """
+        meta_path = self._meta_path
+        if meta_path is None:
+            return
+        if extra:
+            self._sticky_extra.update(extra)
+        meta: Dict[str, Any] = {
+            "heaps": {name: heap.page_ids for name, heap in self._heaps.items()}
+        }
+        meta.update(self._sticky_extra)
+        tmp_path = meta_path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(meta, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, meta_path)
+
+    def load_extra_metadata(self) -> Dict[str, Any]:
+        meta_path = self._meta_path
+        if meta_path is None or not os.path.exists(meta_path):
+            return {}
+        with open(meta_path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+        meta.pop("heaps", None)
+        return meta
+
+    def rebuild_directory(self) -> None:
+        """Re-derive OID -> location by scanning every heap."""
+        self.directory.clear()
+        for class_name, heap in self._heaps.items():
+            if class_name == OVERFLOW_HEAP:
+                continue
+            for rid, body in heap.scan():
+                if self._is_stub(body):
+                    oid_value, _stub_class, _chunks = self._read_stub(body)
+                    self.directory.add(OID(oid_value), class_name, rid)
+                else:
+                    state = decode_object(body)
+                    self.directory.add(state.oid, class_name, rid)
+
+    # -- long objects (overflow chains) ----------------------------------
+
+    def _max_plain_record(self) -> int:
+        """Largest record stored inline on a slotted page."""
+        return self.pager.page_size - 64
+
+    @staticmethod
+    def _is_stub(body: bytes) -> bool:
+        return body.startswith(_LONG_MAGIC)
+
+    def _write_long(self, data: bytes, oid: OID, class_name: str) -> bytes:
+        """Spill ``data`` into the overflow heap; return the stub record."""
+        heap = self.heap_for(OVERFLOW_HEAP)
+        chunk_size = self._max_plain_record()
+        rids = []
+        previous = None
+        for offset in range(0, len(data), chunk_size):
+            rid = heap.insert(data[offset : offset + chunk_size], near=previous)
+            rids.append(rid)
+            previous = rid
+        stub = bytearray(_LONG_MAGIC)
+        stub += _STUB_HEAD.pack(oid.value)
+        name = class_name.encode("utf-8")
+        stub += struct.pack(">H", len(name)) + name
+        stub += struct.pack(">I", len(rids))
+        for rid in rids:
+            stub += _CHUNK_REF.pack(rid.page_id, rid.slot)
+        return bytes(stub)
+
+    @staticmethod
+    def _read_stub(body: bytes):
+        pos = len(_LONG_MAGIC)
+        (oid_value,) = _STUB_HEAD.unpack_from(body, pos)
+        pos += _STUB_HEAD.size
+        (name_len,) = struct.unpack_from(">H", body, pos)
+        pos += 2
+        class_name = body[pos : pos + name_len].decode("utf-8")
+        pos += name_len
+        (count,) = struct.unpack_from(">I", body, pos)
+        pos += 4
+        rids = []
+        for _ in range(count):
+            page_id, slot = _CHUNK_REF.unpack_from(body, pos)
+            pos += _CHUNK_REF.size
+            rids.append(RID(page_id, slot))
+        return oid_value, class_name, rids
+
+    def _assemble(self, body: bytes) -> ObjectState:
+        _oid_value, _class_name, rids = self._read_stub(body)
+        heap = self.heap_for(OVERFLOW_HEAP)
+        data = b"".join(heap.read(rid) for rid in rids)
+        return decode_object(data)
+
+    def _free_chunks(self, body: bytes) -> None:
+        if not self._is_stub(body):
+            return
+        _oid_value, _class_name, rids = self._read_stub(body)
+        heap = self.heap_for(OVERFLOW_HEAP)
+        for rid in rids:
+            heap.delete(rid)
+
+    def _encode_record(self, state: ObjectState) -> bytes:
+        """Inline record, or a stub after spilling a long object."""
+        data = encode_object(state)
+        if len(data) > self._max_plain_record():
+            return self._write_long(data, state.oid, state.class_name)
+        return data
+
+    def _decode_record(self, body: bytes) -> ObjectState:
+        if self._is_stub(body):
+            return self._assemble(body)
+        return decode_object(body)
+
+    # -- heap management -------------------------------------------------------
+
+    def heap_for(self, class_name: str) -> HeapFile:
+        heap = self._heaps.get(class_name)
+        if heap is None:
+            heap = HeapFile(self.buffer, class_name)
+            self._heaps[class_name] = heap
+        return heap
+
+    def has_heap(self, class_name: str) -> bool:
+        return class_name in self._heaps
+
+    def heap_names(self) -> List[str]:
+        return sorted(self._heaps)
+
+    # -- object operations ------------------------------------------------------
+
+    def store_new(self, state: ObjectState, near: Optional[OID] = None) -> RID:
+        """Store a brand-new object, optionally clustered near ``near``.
+
+        Clustering only applies when the neighbour lives in the *same*
+        class heap; a cross-class hint silently degrades to normal
+        placement (the common case for composite hierarchies is resolved
+        by the clustering policy choosing same-heap anchors).
+        """
+        if state.oid in self.directory:
+            raise StorageError("object %r already stored" % (state.oid,))
+        heap = self.heap_for(state.class_name)
+        near_rid: Optional[RID] = None
+        if near is not None:
+            entry = self.directory.try_lookup(near)
+            if entry is not None and entry.class_name == state.class_name:
+                near_rid = entry.rid
+        rid = heap.insert(self._encode_record(state), near=near_rid)
+        self.directory.add(state.oid, state.class_name, rid)
+        return rid
+
+    def load(self, oid: OID) -> ObjectState:
+        entry = self.directory.lookup(oid)
+        heap = self.heap_for(entry.class_name)
+        return self._decode_record(heap.read(entry.rid))
+
+    def contains(self, oid: OID) -> bool:
+        return oid in self.directory
+
+    def class_of(self, oid: OID) -> str:
+        return self.directory.lookup(oid).class_name
+
+    def overwrite(self, state: ObjectState) -> None:
+        """Replace the stored state of an existing object."""
+        entry = self.directory.lookup(state.oid)
+        if entry.class_name != state.class_name:
+            # Class migration: remove from the old heap, insert into new.
+            old_heap = self.heap_for(entry.class_name)
+            self._free_chunks(old_heap.read(entry.rid))
+            old_heap.delete(entry.rid)
+            new_heap = self.heap_for(state.class_name)
+            rid = new_heap.insert(self._encode_record(state))
+            self.directory.reclass(state.oid, state.class_name, rid)
+            return
+        heap = self.heap_for(entry.class_name)
+        self._free_chunks(heap.read(entry.rid))
+        new_rid = heap.update(entry.rid, self._encode_record(state))
+        if new_rid != entry.rid:
+            self.directory.relocate(state.oid, new_rid)
+
+    def remove(self, oid: OID) -> ObjectState:
+        """Delete an object, returning its final state (for undo logs)."""
+        entry = self.directory.lookup(oid)
+        heap = self.heap_for(entry.class_name)
+        body = heap.read(entry.rid)
+        state = self._decode_record(body)
+        self._free_chunks(body)
+        heap.delete(entry.rid)
+        self.directory.remove(oid)
+        return state
+
+    def scan_class(self, class_name: str) -> Iterator[ObjectState]:
+        """All direct instances of one class, in physical (page) order."""
+        if class_name == OVERFLOW_HEAP or class_name not in self._heaps:
+            return iter(())
+        heap = self._heaps[class_name]
+
+        def _iter() -> Iterator[ObjectState]:
+            for _rid, body in heap.scan():
+                yield self._decode_record(body)
+
+        return _iter()
+
+    def oids_of_class(self, class_name: str) -> List[OID]:
+        return self.directory.oids_of_class(class_name)
+
+    def count_class(self, class_name: str) -> int:
+        return len(self.directory.oids_of_class(class_name))
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def flush(self) -> None:
+        self.buffer.flush_all()
+        self.save_metadata()
+
+    def drop_cache(self) -> None:
+        """Flush then empty the buffer pool (cold-cache experiments)."""
+        self.buffer.drop_all()
+
+    def close(self) -> None:
+        try:
+            self.flush()
+        finally:
+            self.pager.close()
+
+    def __enter__(self) -> "StorageManager":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return "<StorageManager %s: %d objects, %d heaps>" % (
+            self.path or "memory",
+            len(self.directory),
+            len(self._heaps),
+        )
+
+
+def load_state_if_exists(storage: StorageManager, oid: OID) -> Optional[ObjectState]:
+    """Convenience: load or None instead of raising."""
+    try:
+        return storage.load(oid)
+    except ObjectNotFoundError:
+        return None

@@ -1,0 +1,162 @@
+"""Slotted pages.
+
+Classic slotted-page layout: a small header, a slot directory growing
+forward from the header, and record bodies growing backward from the end
+of the page.  Deleting a record tombstones its slot (slot numbers are
+stable because RIDs embed them); updating in place succeeds only when the
+new body fits the old cell or the page has room, otherwise the caller
+relocates the record.
+
+Layout (big-endian)::
+
+    [0:2)   slot_count
+    [2:4)   free_end   -- offset one past the last free byte (records
+                          occupy [free_end:page_size))
+    then slot_count entries of 4 bytes each: offset (2) + length (2).
+    offset == 0xFFFF marks a tombstone.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Tuple
+
+from ..errors import PageFullError, StorageError
+
+_HEADER = struct.Struct(">HH")
+_SLOT = struct.Struct(">HH")
+TOMBSTONE = 0xFFFF
+
+
+class SlottedPage:
+    """A parsed, mutable slotted page."""
+
+    __slots__ = ("page_size", "_slots", "_records")
+
+    def __init__(self, page_size: int) -> None:
+        self.page_size = page_size
+        # Parallel arrays: (offset, length) per slot and the record bodies.
+        # We keep bodies separately so mutation is cheap; offsets are
+        # recomputed at serialization time (records are always compacted on
+        # write, which keeps fragmentation bounded without a vacuum pass).
+        self._slots: List[Optional[bytes]] = []
+        self._records = self._slots  # alias: body stored directly in slot list
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def slot_count(self) -> int:
+        return len(self._slots)
+
+    @property
+    def live_count(self) -> int:
+        return sum(1 for body in self._slots if body is not None)
+
+    def _used_bytes(self) -> int:
+        body_bytes = sum(len(body) for body in self._slots if body is not None)
+        return _HEADER.size + _SLOT.size * len(self._slots) + body_bytes
+
+    @property
+    def free_space(self) -> int:
+        return self.page_size - self._used_bytes()
+
+    def fits(self, record: bytes) -> bool:
+        """Would ``record`` fit as a new insert (slot entry included)?"""
+        return self.free_space >= len(record) + _SLOT.size
+
+    # -- record operations ---------------------------------------------------
+
+    def insert(self, record: bytes) -> int:
+        """Insert a record, reusing a tombstoned slot when available."""
+        if len(record) > self.page_size - _HEADER.size - _SLOT.size:
+            raise StorageError(
+                "record of %d bytes can never fit a %d-byte page"
+                % (len(record), self.page_size)
+            )
+        for slot, body in enumerate(self._slots):
+            if body is None:
+                if self.free_space < len(record):
+                    raise PageFullError("page full")
+                self._slots[slot] = bytes(record)
+                return slot
+        if not self.fits(record):
+            raise PageFullError("page full")
+        self._slots.append(bytes(record))
+        return len(self._slots) - 1
+
+    def read(self, slot: int) -> bytes:
+        body = self._body(slot)
+        if body is None:
+            raise StorageError("slot %d is deleted" % slot)
+        return body
+
+    def update(self, slot: int, record: bytes) -> None:
+        old = self._body(slot)
+        if old is None:
+            raise StorageError("slot %d is deleted" % slot)
+        if self.free_space + len(old) < len(record):
+            raise PageFullError("updated record does not fit")
+        self._slots[slot] = bytes(record)
+
+    def delete(self, slot: int) -> None:
+        if self._body(slot) is None:
+            raise StorageError("slot %d is already deleted" % slot)
+        self._slots[slot] = None
+
+    def records(self) -> Iterator[Tuple[int, bytes]]:
+        """Yield (slot, body) for every live record."""
+        for slot, body in enumerate(self._slots):
+            if body is not None:
+                yield slot, body
+
+    def _body(self, slot: int) -> Optional[bytes]:
+        if not 0 <= slot < len(self._slots):
+            raise StorageError("slot %d out of range" % slot)
+        return self._slots[slot]
+
+    # -- (de)serialization ----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        buf = bytearray(self.page_size)
+        free_end = self.page_size
+        slot_entries = []
+        for body in self._slots:
+            if body is None:
+                slot_entries.append((TOMBSTONE, 0))
+                continue
+            free_end -= len(body)
+            buf[free_end : free_end + len(body)] = body
+            slot_entries.append((free_end, len(body)))
+        _HEADER.pack_into(buf, 0, len(self._slots), free_end)
+        pos = _HEADER.size
+        for offset, length in slot_entries:
+            _SLOT.pack_into(buf, pos, offset, length)
+            pos += _SLOT.size
+        if pos > free_end:
+            raise StorageError("slot directory overlaps record area")
+        return bytes(buf)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SlottedPage":
+        page = cls(len(data))
+        slot_count, _free_end = _HEADER.unpack_from(data, 0)
+        pos = _HEADER.size
+        for _ in range(slot_count):
+            offset, length = _SLOT.unpack_from(data, pos)
+            pos += _SLOT.size
+            if offset == TOMBSTONE:
+                page._slots.append(None)
+            else:
+                page._slots.append(bytes(data[offset : offset + length]))
+        return page
+
+    @classmethod
+    def empty(cls, page_size: int) -> "SlottedPage":
+        return cls(page_size)
+
+    def __repr__(self) -> str:
+        return "<SlottedPage %d/%d slots, %d bytes free>" % (
+            self.live_count,
+            self.slot_count,
+            self.free_space,
+        )

@@ -1,0 +1,13 @@
+"""Database tools (Section 5.1): schema browsing, design advice."""
+
+from .advisor import IndexAdvisor, Recommendation
+from .browser import aggregation_graph, catalog_report, class_tree, describe_class
+
+__all__ = [
+    "IndexAdvisor",
+    "Recommendation",
+    "aggregation_graph",
+    "catalog_report",
+    "class_tree",
+    "describe_class",
+]

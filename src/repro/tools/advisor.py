@@ -1,0 +1,132 @@
+"""Physical design advisor (Section 5.1).
+
+"The need for friendly and efficient design aids for the logical and
+physical design of object-oriented databases is significantly stronger
+than that for relational databases."  The advisor watches a query
+workload and recommends the index kind each recurring predicate calls
+for: a class-hierarchy index for hierarchy-scoped single-attribute
+predicates, a single-class index for ``ONLY``-scoped ones, a
+nested-attribute index for path predicates — exactly the decision table
+of Section 3.2.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+
+from ..query.ast import Comparison, Query, conjuncts
+from ..query.parser import parse_query
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..database import Database
+
+#: Operators a B+-tree index can serve.
+_SARGABLE = ("=", "<", "<=", ">", ">=", "in", "contains")
+
+
+class Recommendation:
+    """One advised index."""
+
+    __slots__ = ("kind", "class_name", "path", "hits", "create_call")
+
+    def __init__(self, kind: str, class_name: str, path: Tuple[str, ...], hits: int) -> None:
+        self.kind = kind
+        self.class_name = class_name
+        self.path = path
+        self.hits = hits
+        if kind == "nested-attribute":
+            self.create_call = "db.create_nested_index(%r, %r)" % (class_name, list(path))
+        elif kind == "single-class":
+            self.create_call = "db.create_class_index(%r, %r)" % (class_name, path[0])
+        else:
+            self.create_call = "db.create_hierarchy_index(%r, %r)" % (class_name, path[0])
+
+    def apply(self, db: "Database"):
+        """Create the recommended index on ``db``."""
+        if self.kind == "nested-attribute":
+            return db.create_nested_index(self.class_name, list(self.path))
+        if self.kind == "single-class":
+            return db.create_class_index(self.class_name, self.path[0])
+        return db.create_hierarchy_index(self.class_name, self.path[0])
+
+    def __repr__(self) -> str:
+        return "<Recommendation %s on %s.%s (%d hits)>" % (
+            self.kind,
+            self.class_name,
+            ".".join(self.path),
+            self.hits,
+        )
+
+
+class IndexAdvisor:
+    """Collects a workload, recommends indexes the planner would use."""
+
+    def __init__(self, db: "Database") -> None:
+        self.db = db
+        #: (class, path, hierarchy?) -> number of sargable occurrences.
+        self._demand: Dict[Tuple[str, Tuple[str, ...], bool], int] = {}
+        self.observed = 0
+
+    # -- workload capture ------------------------------------------------------
+
+    def observe(self, query: Union[str, Query]) -> None:
+        """Record one workload query (text or AST)."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        if self.db.views is not None:
+            query = self.db.views.rewrite(query)
+        self.observed += 1
+        for predicate in conjuncts(query.where):
+            if not isinstance(predicate, Comparison):
+                continue
+            if predicate.op not in _SARGABLE:
+                continue
+            key = (query.target_class, predicate.path.steps, query.hierarchy)
+            self._demand[key] = self._demand.get(key, 0) + 1
+
+    # -- recommendation ---------------------------------------------------------
+
+    def recommend(self, min_hits: int = 2) -> List[Recommendation]:
+        """Indexes worth creating, most-demanded first.
+
+        Skips predicates an existing index already covers, classes whose
+        whole hierarchy extent is trivial, and anything seen fewer than
+        ``min_hits`` times.
+        """
+        out: List[Recommendation] = []
+        for (class_name, path, hierarchy), hits in self._demand.items():
+            if hits < min_hits:
+                continue
+            if not self.db.schema.has_class(class_name):
+                continue
+            scope = (
+                set(self.db.schema.hierarchy_of(class_name))
+                if hierarchy
+                else {class_name}
+            )
+            if self.db.indexes.find_index(class_name, path, scope) is not None:
+                continue  # already covered
+            extent = sum(self.db.storage.count_class(cls) for cls in scope)
+            if extent < 16:
+                continue  # a scan is fine
+            if len(path) > 1:
+                kind = "nested-attribute"
+            elif hierarchy:
+                kind = "class-hierarchy"
+            else:
+                kind = "single-class"
+            out.append(Recommendation(kind, class_name, path, hits))
+        out.sort(key=lambda r: (-r.hits, r.class_name, r.path))
+        return out
+
+    def report(self, min_hits: int = 2) -> str:
+        recommendations = self.recommend(min_hits)
+        if not recommendations:
+            return "no index recommendations (observed %d queries)" % self.observed
+        lines = ["index recommendations (observed %d queries):" % self.observed]
+        for rec in recommendations:
+            lines.append(
+                "  %-18s %s.%s  (%d hits)   %s"
+                % (rec.kind, rec.class_name, ".".join(rec.path), rec.hits, rec.create_call)
+            )
+        return "\n".join(lines)

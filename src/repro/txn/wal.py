@@ -1,0 +1,214 @@
+"""Write-ahead log.
+
+Logical logging: every committed mutation is recorded as an insert,
+update (with before- and after-images) or delete (with before-image),
+framed with a CRC so torn tails are detected instead of replayed.  The
+log is the durability boundary — data pages may be flushed lazily; after
+a crash, :mod:`repro.txn.recovery` repeats history from the last
+checkpoint and rolls back losers.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Iterator, List, Optional
+
+from ..core.obj import ObjectState
+from ..errors import RecoveryError
+from ..storage.serializer import decode_object, encode_object
+
+# Record types.
+BEGIN = 1
+INSERT = 2
+UPDATE = 3
+DELETE = 4
+COMMIT = 5
+ABORT = 6
+CHECKPOINT = 7
+
+_TYPE_NAMES = {
+    BEGIN: "BEGIN",
+    INSERT: "INSERT",
+    UPDATE: "UPDATE",
+    DELETE: "DELETE",
+    COMMIT: "COMMIT",
+    ABORT: "ABORT",
+    CHECKPOINT: "CHECKPOINT",
+}
+
+_FRAME = struct.Struct(">IIBQ")  # crc, payload length, type, txn id
+
+
+class LogRecord:
+    """One log entry; ``before``/``after`` are object states or None."""
+
+    __slots__ = ("lsn", "record_type", "txn_id", "before", "after")
+
+    def __init__(
+        self,
+        record_type: int,
+        txn_id: int,
+        before: Optional[ObjectState] = None,
+        after: Optional[ObjectState] = None,
+        lsn: int = -1,
+    ) -> None:
+        self.record_type = record_type
+        self.txn_id = txn_id
+        self.before = before
+        self.after = after
+        self.lsn = lsn
+
+    def payload(self) -> bytes:
+        parts = []
+        for state in (self.before, self.after):
+            if state is None:
+                parts.append(struct.pack(">I", 0))
+            else:
+                encoded = encode_object(state)
+                parts.append(struct.pack(">I", len(encoded)))
+                parts.append(encoded)
+        return b"".join(parts)
+
+    @classmethod
+    def from_payload(cls, record_type: int, txn_id: int, payload: bytes, lsn: int) -> "LogRecord":
+        pos = 0
+        states: List[Optional[ObjectState]] = []
+        for _ in range(2):
+            (length,) = struct.unpack_from(">I", payload, pos)
+            pos += 4
+            if length == 0:
+                states.append(None)
+            else:
+                states.append(decode_object(payload[pos : pos + length]))
+                pos += length
+        return cls(record_type, txn_id, states[0], states[1], lsn)
+
+    def __repr__(self) -> str:
+        return "<LogRecord %d %s txn=%d>" % (
+            self.lsn,
+            _TYPE_NAMES.get(self.record_type, "?"),
+            self.txn_id,
+        )
+
+
+class WriteAheadLog:
+    """Append-only log; in-memory when ``path`` is None (tests, ephemeral).
+
+    ``sync_on_commit`` controls whether COMMIT records fsync — the knob
+    experiment E13 sweeps.
+    """
+
+    def __init__(self, path: Optional[str] = None, sync_on_commit: bool = True) -> None:
+        self.path = path
+        self.sync_on_commit = sync_on_commit
+        self._records: List[LogRecord] = []  # memory mode only
+        self._next_lsn = 0
+        self._file = None
+        if path is not None:
+            self._file = open(path, "ab")
+            # Count pre-existing records so LSNs keep increasing.  A
+            # corrupt log is not fatal at open time — recovery's explicit
+            # replay() reports it to the caller.
+            try:
+                for _ in self.replay():
+                    pass
+            except RecoveryError:
+                pass
+
+    # -- writing ------------------------------------------------------------
+
+    def append(self, record: LogRecord) -> int:
+        record.lsn = self._next_lsn
+        self._next_lsn += 1
+        if self._file is None:
+            self._records.append(record)
+        else:
+            payload = record.payload()
+            crc = zlib.crc32(payload + bytes([record.record_type]))
+            frame = _FRAME.pack(crc, len(payload), record.record_type, record.txn_id)
+            self._file.write(frame + payload)
+            if record.record_type == COMMIT:
+                self._file.flush()
+                if self.sync_on_commit:
+                    os.fsync(self._file.fileno())
+        return record.lsn
+
+    def log_begin(self, txn_id: int) -> None:
+        self.append(LogRecord(BEGIN, txn_id))
+
+    def log_insert(self, txn_id: int, after: ObjectState) -> None:
+        self.append(LogRecord(INSERT, txn_id, after=after))
+
+    def log_update(self, txn_id: int, before: ObjectState, after: ObjectState) -> None:
+        self.append(LogRecord(UPDATE, txn_id, before=before, after=after))
+
+    def log_delete(self, txn_id: int, before: ObjectState) -> None:
+        self.append(LogRecord(DELETE, txn_id, before=before))
+
+    def log_commit(self, txn_id: int) -> None:
+        self.append(LogRecord(COMMIT, txn_id))
+
+    def log_abort(self, txn_id: int) -> None:
+        self.append(LogRecord(ABORT, txn_id))
+
+    def log_checkpoint(self) -> None:
+        self.append(LogRecord(CHECKPOINT, 0))
+
+    # -- reading ------------------------------------------------------------
+
+    def replay(self) -> Iterator[LogRecord]:
+        """All intact records, oldest first.
+
+        A torn final record (partial frame or CRC mismatch at the tail)
+        ends iteration silently — that is the crash case WAL is designed
+        for.  Corruption *before* the tail raises RecoveryError.
+        """
+        if self._file is None:
+            yield from list(self._records)
+            return
+        self._file.flush()
+        lsn = 0
+        with open(self.path, "rb") as handle:
+            data = handle.read()
+        pos = 0
+        while pos < len(data):
+            if pos + _FRAME.size > len(data):
+                break  # torn frame header at tail
+            crc, length, record_type, txn_id = _FRAME.unpack_from(data, pos)
+            frame_end = pos + _FRAME.size + length
+            if frame_end > len(data):
+                break  # torn payload at tail
+            payload = data[pos + _FRAME.size : frame_end]
+            if zlib.crc32(payload + bytes([record_type])) != crc:
+                if frame_end == len(data):
+                    break  # torn final record
+                raise RecoveryError("corrupt log record at offset %d" % pos)
+            if record_type not in _TYPE_NAMES:
+                raise RecoveryError("unknown log record type %d" % record_type)
+            yield LogRecord.from_payload(record_type, txn_id, payload, lsn)
+            lsn += 1
+            pos = frame_end
+        self._next_lsn = max(self._next_lsn, lsn)
+
+    def truncate(self) -> None:
+        """Discard the log (after a checkpoint made data pages durable)."""
+        if self._file is None:
+            self._records.clear()
+            return
+        self._file.close()
+        self._file = open(self.path, "wb")
+        self._file.close()
+        self._file = open(self.path, "ab")
+
+    @property
+    def record_count(self) -> int:
+        if self._file is None:
+            return len(self._records)
+        return sum(1 for _ in self.replay())
+
+    def close(self) -> None:
+        if self._file is not None and not self._file.closed:
+            self._file.flush()
+            self._file.close()

@@ -1,0 +1,27 @@
+"""Versions (layered mechanism + policies) and change notification."""
+
+from .model import VersionManager, VersionRecord, attach
+from .notify import NotificationManager
+from .notify import attach as attach_notifications
+from .policies import (
+    RELEASED,
+    TRANSIENT,
+    WORKING,
+    ChouKimPolicy,
+    FreezeOnDerivePolicy,
+    VersionPolicy,
+)
+
+__all__ = [
+    "VersionManager",
+    "VersionRecord",
+    "attach",
+    "NotificationManager",
+    "attach_notifications",
+    "RELEASED",
+    "TRANSIENT",
+    "WORKING",
+    "ChouKimPolicy",
+    "FreezeOnDerivePolicy",
+    "VersionPolicy",
+]

@@ -1,0 +1,134 @@
+"""Version-semantics policies — the *upper* layer of Section 5.5.
+
+"Since the semantics of versions tend to differ in varying degrees from
+installation to installation, a worthwhile approach may be to provide a
+layered architecture for versions.  The lower level may support a basic
+mechanism for low-level version semantics that are common to various
+proposals; the higher level may be made extensible to allow easy
+tailoring of installation-specific version semantics."
+
+The lower layer (:mod:`repro.versions.model`) maintains the derivation
+graph; a policy object answers the installation-specific questions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import VersionError
+
+#: Version statuses in the [CHOU86] unifying framework.
+TRANSIENT = "transient"
+WORKING = "working"
+RELEASED = "released"
+
+_STATUS_ORDER = (TRANSIENT, WORKING, RELEASED)
+
+
+class VersionPolicy:
+    """Installation-specific version semantics (override to taste)."""
+
+    name = "abstract"
+
+    def can_update(self, status: str) -> bool:
+        raise NotImplementedError
+
+    def can_delete(self, status: str) -> bool:
+        raise NotImplementedError
+
+    def can_derive(self, status: str) -> bool:
+        raise NotImplementedError
+
+    def promotion_of(self, status: str) -> Optional[str]:
+        """Next status when promoted, or None when already final."""
+        raise NotImplementedError
+
+    def derived_status(self, parent_status: str) -> str:
+        """Status assigned to a freshly derived version."""
+        raise NotImplementedError
+
+    def pick_default(self, candidates: List[tuple]) -> tuple:
+        """Choose the default version from (status, number, record) tuples.
+
+        Called with at least one candidate; returns one of them.  This is
+        the dynamic-binding rule for references to generic objects.
+        """
+        raise NotImplementedError
+
+
+class ChouKimPolicy(VersionPolicy):
+    """The [CHOU86] framework: transient -> working -> released.
+
+    * transient versions may be updated and deleted, and derived from;
+    * working versions are frozen (derive-only) but deletable;
+    * released versions are frozen and not deletable;
+    * a generic reference binds to the most recent version of the most
+      stable status present.
+    """
+
+    name = "chou-kim"
+
+    def can_update(self, status: str) -> bool:
+        return status == TRANSIENT
+
+    def can_delete(self, status: str) -> bool:
+        return status in (TRANSIENT, WORKING)
+
+    def can_derive(self, status: str) -> bool:
+        return True
+
+    def promotion_of(self, status: str) -> Optional[str]:
+        index = _STATUS_ORDER.index(status)
+        if index + 1 < len(_STATUS_ORDER):
+            return _STATUS_ORDER[index + 1]
+        return None
+
+    def derived_status(self, parent_status: str) -> str:
+        return TRANSIENT
+
+    def pick_default(self, candidates: List[tuple]) -> tuple:
+        def rank(entry: tuple) -> tuple:
+            status, number, _record = entry
+            return (_STATUS_ORDER.index(status), number)
+
+        return max(candidates, key=rank)
+
+
+class FreezeOnDerivePolicy(VersionPolicy):
+    """A stricter shop rule: deriving from a version freezes the parent.
+
+    Models installations where a version with descendants is immutable
+    history.  Updates are allowed only on leaf transients; nothing is
+    deletable once it has children (enforced by the mechanism layer);
+    the default version is simply the newest.
+    """
+
+    name = "freeze-on-derive"
+
+    def can_update(self, status: str) -> bool:
+        return status == TRANSIENT
+
+    def can_delete(self, status: str) -> bool:
+        return status == TRANSIENT
+
+    def can_derive(self, status: str) -> bool:
+        return True
+
+    def promotion_of(self, status: str) -> Optional[str]:
+        if status == TRANSIENT:
+            return RELEASED
+        return None
+
+    def derived_status(self, parent_status: str) -> str:
+        return TRANSIENT
+
+    def pick_default(self, candidates: List[tuple]) -> tuple:
+        return max(candidates, key=lambda entry: entry[1])
+
+
+def validate_status(status: str) -> None:
+    if status not in _STATUS_ORDER:
+        raise VersionError(
+            "unknown version status %r (expected one of %s)"
+            % (status, ", ".join(_STATUS_ORDER))
+        )

@@ -1,0 +1,5 @@
+"""Views: virtual classes, query rewriting, schema versioning."""
+
+from .view import ViewDef, ViewManager, attach
+
+__all__ = ["ViewDef", "ViewManager", "attach"]

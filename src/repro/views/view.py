@@ -1,0 +1,201 @@
+"""Views: virtual classes defined by queries (Section 5.4).
+
+The paper notes no 1990 OODB supported views; kimdb implements them the
+way the section motivates:
+
+* a view is a named virtual class derived by a query over a stored class
+  (or another view — views stack);
+* a query against the view rewrites into a query against the base class
+  with the view predicate conjoined (logical partitioning of an extent);
+* an optional *rename map* re-labels attributes — one form of **schema
+  versioning**: old applications keep querying the old attribute names
+  through a view after a schema change;
+* granting ``read`` on the view name (not the base class) yields
+  **content-based authorization**: subjects see exactly the objects that
+  satisfy the view predicate.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
+
+from ..errors import ViewError
+from ..query.ast import (
+    AdtPredicate,
+    And,
+    Comparison,
+    Expr,
+    MethodCall,
+    Not,
+    Or,
+    Path,
+    Query,
+)
+from ..query.parser import parse_query
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..database import Database
+
+
+class ViewDef:
+    """One view: base query + attribute rename map."""
+
+    __slots__ = ("name", "query", "rename", "doc")
+
+    def __init__(
+        self,
+        name: str,
+        query: Query,
+        rename: Optional[Dict[str, str]] = None,
+        doc: str = "",
+    ) -> None:
+        self.name = name
+        self.query = query
+        #: view attribute name -> base dotted path (e.g. {"maker": "manufacturer.name"}).
+        self.rename = dict(rename or {})
+        self.doc = doc
+
+    def __repr__(self) -> str:
+        return "<ViewDef %s over %s>" % (self.name, self.query.target_class)
+
+
+class ViewManager:
+    """View registry and query rewriter."""
+
+    def __init__(self, db: "Database") -> None:
+        self.db = db
+        self._views: Dict[str, ViewDef] = {}
+
+    # -- definition ------------------------------------------------------------
+
+    def define_view(
+        self,
+        name: str,
+        query: Union[str, Query],
+        rename: Optional[Dict[str, str]] = None,
+        doc: str = "",
+    ) -> ViewDef:
+        if name in self._views:
+            raise ViewError("view %r already exists" % (name,))
+        if self.db.schema.has_class(name):
+            raise ViewError("%r is a stored class; views may not shadow classes" % (name,))
+        if isinstance(query, str):
+            query = parse_query(query)
+        if query.projections is not None:
+            raise ViewError(
+                "view queries must select whole objects (no projections)"
+            )
+        base = query.target_class
+        if not self.db.schema.has_class(base) and not self.is_view(base):
+            raise ViewError("view %r is over unknown class %r" % (name, base))
+        view = ViewDef(name, query, rename, doc)
+        self._views[name] = view
+        return view
+
+    def drop_view(self, name: str) -> None:
+        if name not in self._views:
+            raise ViewError("no view named %r" % (name,))
+        del self._views[name]
+
+    def is_view(self, name: str) -> bool:
+        return name in self._views
+
+    def get(self, name: str) -> ViewDef:
+        view = self._views.get(name)
+        if view is None:
+            raise ViewError("no view named %r" % (name,))
+        return view
+
+    def names(self) -> List[str]:
+        return sorted(self._views)
+
+    # -- rewriting ------------------------------------------------------------
+
+    def rewrite(self, query: Query) -> Query:
+        """Expand view targets until the query addresses a stored class."""
+        depth = 0
+        while self.is_view(query.target_class):
+            depth += 1
+            if depth > 32:
+                raise ViewError(
+                    "view expansion exceeded depth 32 (cyclic view definition?)"
+                )
+            query = self._expand_once(query)
+        return query
+
+    def _expand_once(self, query: Query) -> Query:
+        view = self.get(query.target_class)
+        base = view.query
+
+        where = self._rewrite_expr(query.where, view)
+        if base.where is not None and where is not None:
+            where = And([base.where, where])
+        elif base.where is not None:
+            where = base.where
+
+        projections = None
+        if query.projections is not None:
+            projections = [self._rewrite_path(p, view) for p in query.projections]
+        order_by = (
+            self._rewrite_path(query.order_by, view)
+            if query.order_by is not None
+            else None
+        )
+        aggregates = None
+        if query.aggregates is not None:
+            from ..query.ast import Aggregate
+
+            aggregates = [
+                Aggregate(
+                    agg.fn,
+                    self._rewrite_path(agg.path, view) if agg.path is not None else None,
+                )
+                for agg in query.aggregates
+            ]
+        group_by = (
+            self._rewrite_path(query.group_by, view)
+            if query.group_by is not None
+            else None
+        )
+        return Query(
+            target_class=base.target_class,
+            variable=query.variable,
+            where=where,
+            hierarchy=base.hierarchy,
+            projections=projections,
+            order_by=order_by,
+            descending=query.descending,
+            limit=query.limit,
+            aggregates=aggregates,
+            group_by=group_by,
+        )
+
+    def _rewrite_path(self, path: Path, view: ViewDef) -> Path:
+        mapped = view.rename.get(path.steps[0])
+        if mapped is None:
+            return path
+        return Path(tuple(mapped.split(".")) + path.steps[1:])
+
+    def _rewrite_expr(self, expr: Optional[Expr], view: ViewDef) -> Optional[Expr]:
+        if expr is None:
+            return None
+        if isinstance(expr, Comparison):
+            return Comparison(expr.op, self._rewrite_path(expr.path, view), expr.const)
+        if isinstance(expr, And):
+            return And([self._rewrite_expr(op, view) for op in expr.operands])
+        if isinstance(expr, Or):
+            return Or([self._rewrite_expr(op, view) for op in expr.operands])
+        if isinstance(expr, Not):
+            return Not(self._rewrite_expr(expr.operand, view))
+        if isinstance(expr, MethodCall):
+            path = self._rewrite_path(expr.path, view) if expr.path else None
+            return MethodCall(path, expr.selector, expr.args, expr.op, expr.const)
+        if isinstance(expr, AdtPredicate):
+            return AdtPredicate(expr.name, self._rewrite_path(expr.path, view), expr.args)
+        raise ViewError("cannot rewrite expression %r through a view" % (expr,))
+
+
+def attach(db: "Database") -> ViewManager:
+    manager = ViewManager(db)
+    db.views = manager
+    return manager

@@ -1,0 +1,175 @@
+"""Pointer swizzling: memory-resident objects à la LOOM/ORION.
+
+Section 3.3: "A much better solution is to store logical object
+identifiers within the objects in the database, and convert them to
+memory pointers to related objects ... as an object is fetched from the
+database, the object identifiers embedded in the object are converted to
+memory pointers that will point to some descriptors for the objects that
+the object references.  The referenced objects may later be fetched as
+necessary."
+
+A :class:`MemoryObject` is the in-memory form; its reference attributes
+hold either direct pointers to other resident memory objects or
+:class:`Fault` descriptors that load on first traversal.  After the first
+traversal the pointer is direct — subsequent accesses are "a few memory
+lookups" (the order-of-magnitude claim of Section 4.2, experiment E5).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
+
+from ..core.oid import OID
+from ..errors import ObjectNotFoundError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cache import ObjectWorkspace
+
+
+class Fault:
+    """A descriptor standing in for a not-yet-resident object."""
+
+    __slots__ = ("oid", "workspace")
+
+    def __init__(self, oid: OID, workspace: "ObjectWorkspace") -> None:
+        self.oid = oid
+        self.workspace = workspace
+
+    def resolve(self) -> "MemoryObject":
+        return self.workspace.load(self.oid)
+
+    def __repr__(self) -> str:
+        return "<Fault %r>" % (self.oid,)
+
+
+Pointer = Union["MemoryObject", Fault, OID]
+
+
+class MemoryObject:
+    """The memory-resident form of one object.
+
+    Primitive attribute values are stored directly; reference attributes
+    are swizzled to pointers (:class:`MemoryObject` once resident,
+    :class:`Fault` before).  Mutations mark the object dirty; the
+    workspace writes dirty objects back through the database, so the full
+    database machinery (validation, indexes, WAL) still applies — the
+    paper's point that memory-resident management *extends* database
+    capabilities rather than bypassing them.
+    """
+
+    __slots__ = ("oid", "class_name", "values", "dirty", "_workspace")
+
+    def __init__(
+        self,
+        oid: OID,
+        class_name: str,
+        values: Dict[str, Any],
+        workspace: "ObjectWorkspace",
+    ) -> None:
+        self.oid = oid
+        self.class_name = class_name
+        self.values = values
+        self.dirty = False
+        self._workspace = workspace
+
+    # -- reads ---------------------------------------------------------------
+
+    def __getitem__(self, name: str) -> Any:
+        return self.values.get(name)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        value = self.values.get(name)
+        return default if value is None else value
+
+    def ref(self, name: str) -> Optional["MemoryObject"]:
+        """Traverse one reference attribute, faulting if necessary.
+
+        After the fault, the slot holds a direct pointer, so the next
+        ``ref`` on the same slot is a plain attribute read.
+        """
+        value = self.values.get(name)
+        if type(value) is MemoryObject:  # hot path: already a pointer
+            return value
+        resolved = self._resolve(value)
+        if resolved is not value and not isinstance(value, list):
+            self.values[name] = resolved  # install the direct pointer
+        return resolved if isinstance(resolved, MemoryObject) else None
+
+    def refs(self, name: str) -> List["MemoryObject"]:
+        """Traverse a set-valued reference attribute."""
+        value = self.values.get(name)
+        if not isinstance(value, list):
+            single = self.ref(name)
+            return [single] if single is not None else []
+        out: List[MemoryObject] = []
+        for position, element in enumerate(value):
+            if type(element) is MemoryObject:  # hot path
+                out.append(element)
+                continue
+            resolved = self._resolve(element)
+            if isinstance(resolved, MemoryObject):
+                value[position] = resolved
+                out.append(resolved)
+        return out
+
+    def _pending_refs(self) -> List[OID]:
+        """OIDs of referenced objects not yet resolved to pointers."""
+        out: List[OID] = []
+        for value in self.values.values():
+            if isinstance(value, (Fault, OID)):
+                out.append(value.oid if isinstance(value, Fault) else value)
+            elif isinstance(value, list):
+                for element in value:
+                    if isinstance(element, (Fault, OID)):
+                        out.append(
+                            element.oid if isinstance(element, Fault) else element
+                        )
+        return out
+
+    def _resolve(self, value: Any) -> Any:
+        if isinstance(value, MemoryObject):
+            return value
+        if isinstance(value, Fault):
+            try:
+                return value.resolve()
+            except ObjectNotFoundError:
+                return None
+        if isinstance(value, OID):
+            try:
+                return self._workspace.load(value)
+            except ObjectNotFoundError:
+                return None
+        return value
+
+    # -- writes ----------------------------------------------------------------
+
+    def set(self, name: str, value: Any) -> None:
+        """Local update; persisted at workspace flush."""
+        self.values[name] = value
+        self.dirty = True
+
+    # -- unswizzling ----------------------------------------------------------
+
+    def to_state_values(self) -> Dict[str, Any]:
+        """Convert back to storable values (pointers -> OIDs)."""
+        out: Dict[str, Any] = {}
+        for name, value in self.values.items():
+            out[name] = _unswizzle(value)
+        return out
+
+    def __repr__(self) -> str:
+        return "<MemoryObject %s %r%s>" % (
+            self.class_name,
+            self.oid,
+            " dirty" if self.dirty else "",
+        )
+
+
+def _unswizzle(value: Any) -> Any:
+    if isinstance(value, MemoryObject):
+        return value.oid
+    if isinstance(value, Fault):
+        return value.oid
+    if isinstance(value, list):
+        return [_unswizzle(element) for element in value]
+    return value

@@ -1,0 +1,149 @@
+"""Authorization: role graph, implicit grants, negative overrides."""
+
+import pytest
+
+from repro import AttributeDef, Database
+from repro.authz import attach
+from repro.errors import AuthorizationError
+
+
+@pytest.fixture
+def adb():
+    db = Database()
+    manager = attach(db)
+    db.define_class("Document", attributes=[
+        AttributeDef("title", "String"), AttributeDef("level", "Integer"),
+    ])
+    db.define_class("SecretDocument", superclasses=("Document",))
+    manager.add_role("employee")
+    manager.add_role("manager", extends=["employee"])
+    manager.add_role("auditor")
+    return db
+
+
+class TestRoleGraph:
+    def test_duplicate_role_rejected(self, adb):
+        with pytest.raises(AuthorizationError):
+            adb.authz.add_role("employee")
+
+    def test_unknown_parent_rejected(self, adb):
+        with pytest.raises(AuthorizationError):
+            adb.authz.add_role("x", extends=["ghost"])
+
+    def test_role_inherits_grants(self, adb):
+        adb.authz.grant("employee", "read", "Document")
+        adb.authz.set_subject("manager")
+        assert adb.authz.allowed("read", "Document")
+
+    def test_superuser_bypasses(self, adb):
+        adb.authz.set_subject("system")
+        assert adb.authz.allowed("delete", "Document")
+
+
+class TestImplicitDerivation:
+    def test_database_grant_covers_classes(self, adb):
+        adb.authz.grant("employee", "read", "database")
+        adb.authz.set_subject("employee")
+        assert adb.authz.allowed("read", "Document")
+        assert adb.authz.allowed("read", "SecretDocument")
+
+    def test_class_grant_covers_instances(self, adb):
+        adb.authz.set_subject("system")
+        doc = adb.new("Document", {"title": "t"})
+        adb.authz.grant("employee", "read", "Document")
+        adb.authz.set_subject("employee")
+        assert adb.authz.allowed("read", "Document", doc.oid)
+
+    def test_class_grant_covers_subclasses_by_default(self, adb):
+        adb.authz.grant("employee", "read", "Document")
+        adb.authz.set_subject("employee")
+        assert adb.authz.allowed("read", "SecretDocument")
+
+    def test_subclass_exclusion(self, adb):
+        adb.authz.grant("employee", "read", "Document", include_subclasses=False)
+        adb.authz.set_subject("employee")
+        assert adb.authz.allowed("read", "Document")
+        assert not adb.authz.allowed("read", "SecretDocument")
+
+    def test_write_implies_read(self, adb):
+        adb.authz.grant("employee", "write", "Document")
+        adb.authz.set_subject("employee")
+        assert adb.authz.allowed("read", "Document")
+        assert not adb.authz.allowed("delete", "Document")
+
+    def test_closed_world_default_deny(self, adb):
+        adb.authz.set_subject("employee")
+        assert not adb.authz.allowed("read", "Document")
+
+
+class TestNegativeAuthorizations:
+    def test_deny_overrides_grant(self, adb):
+        adb.authz.grant("employee", "read", "database")
+        adb.authz.deny("employee", "read", "SecretDocument")
+        adb.authz.set_subject("employee")
+        assert adb.authz.allowed("read", "Document")
+        assert not adb.authz.allowed("read", "SecretDocument")
+
+    def test_deny_read_poisons_write(self, adb):
+        adb.authz.grant("employee", "write", "database")
+        adb.authz.deny("employee", "read", "SecretDocument")
+        adb.authz.set_subject("employee")
+        assert not adb.authz.allowed("write", "SecretDocument")
+
+    def test_object_level_deny(self, adb):
+        adb.authz.set_subject("system")
+        public = adb.new("Document", {"title": "public"})
+        private = adb.new("Document", {"title": "private"})
+        adb.authz.grant("employee", "read", "Document")
+        adb.authz.deny("employee", "read", private.oid)
+        adb.authz.set_subject("employee")
+        assert adb.authz.allowed("read", "Document", public.oid)
+        assert not adb.authz.allowed("read", "Document", private.oid)
+
+
+class TestEnforcement:
+    def test_unauthorized_create_blocked(self, adb):
+        adb.authz.set_subject("employee")
+        with pytest.raises(AuthorizationError):
+            adb.new("Document", {"title": "t"})
+
+    def test_unauthorized_read_blocked(self, adb):
+        adb.authz.set_subject("system")
+        doc = adb.new("Document", {"title": "t"})
+        adb.authz.set_subject("employee")
+        with pytest.raises(AuthorizationError):
+            adb.get_state(doc.oid)
+
+    def test_unauthorized_query_blocked(self, adb):
+        adb.authz.set_subject("employee")
+        with pytest.raises(AuthorizationError):
+            adb.select("SELECT d FROM Document d")
+
+    def test_authorized_flow(self, adb):
+        adb.authz.grant("manager", "create", "Document")
+        adb.authz.grant("manager", "write", "Document")
+        adb.authz.set_subject("manager")
+        doc = adb.new("Document", {"title": "t"})
+        adb.update(doc.oid, {"level": 2})
+        assert adb.get(doc.oid)["level"] == 2
+
+    def test_result_filtering_per_object(self, adb):
+        adb.authz.set_subject("system")
+        visible = adb.new("Document", {"title": "a"})
+        hidden = adb.new("Document", {"title": "b"})
+        adb.authz.grant("employee", "read", "Document")
+        adb.authz.deny("employee", "read", hidden.oid)
+        adb.authz.set_subject("employee")
+        oids = [h.oid for h in adb.select("SELECT d FROM Document d")]
+        assert visible.oid in oids
+        assert hidden.oid not in oids
+
+    def test_as_subject_context_manager(self, adb):
+        adb.authz.grant("employee", "read", "Document")
+        with adb.authz.as_subject("employee"):
+            assert adb.authz.allowed("read", "Document")
+        assert adb.authz.subject == adb.authz.SUPERUSER
+
+    def test_unknown_action_rejected(self, adb):
+        with pytest.raises(AuthorizationError):
+            adb.authz.grant("employee", "fly", "Document")

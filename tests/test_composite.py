@@ -1,0 +1,172 @@
+"""Composite objects: exclusivity, delete propagation, closure queries."""
+
+import pytest
+
+from repro import AttributeDef, Database
+from repro.composite import attach
+from repro.errors import CompositeError
+
+
+@pytest.fixture
+def cdb():
+    db = Database()
+    attach(db)
+    db.define_class(
+        "Wheel",
+        attributes=[AttributeDef("position", "String")],
+    )
+    db.define_class(
+        "Manual",
+        attributes=[AttributeDef("pages", "Integer")],
+    )
+    db.define_class(
+        "Car",
+        attributes=[
+            AttributeDef("name", "String"),
+            AttributeDef(
+                "wheels", "Wheel", multi=True, composite=True, exclusive=True, dependent=True
+            ),
+            AttributeDef("manual", "Manual", composite=True),  # shared, independent
+        ],
+    )
+    return db
+
+
+def make_car(db, name="car", wheel_count=2, manual=None):
+    wheels = [
+        db.new("Wheel", {"position": "w%d" % position}) for position in range(wheel_count)
+    ]
+    car = db.new(
+        "Car",
+        {
+            "name": name,
+            "wheels": [w.oid for w in wheels],
+            "manual": manual,
+        },
+    )
+    return car, wheels
+
+
+class TestExclusivity:
+    def test_exclusive_part_cannot_be_shared(self, cdb):
+        _car, wheels = make_car(cdb)
+        with pytest.raises(CompositeError):
+            cdb.new("Car", {"name": "thief", "wheels": [wheels[0].oid]})
+
+    def test_exclusive_violation_via_update(self, cdb):
+        _car, wheels = make_car(cdb)
+        other, _ = make_car(cdb, name="other")
+        with pytest.raises(CompositeError):
+            cdb.update(other.oid, {"wheels": [wheels[0].oid]})
+
+    def test_shared_part_allowed(self, cdb):
+        manual = cdb.new("Manual", {"pages": 10})
+        make_car(cdb, "a", manual=manual.oid)
+        make_car(cdb, "b", manual=manual.oid)  # shared composite: fine
+        assert len(cdb.composites.parents_of(manual.oid)) == 2
+
+    def test_update_keeping_same_part_is_fine(self, cdb):
+        car, wheels = make_car(cdb)
+        cdb.update(car.oid, {"name": "renamed", "wheels": [w.oid for w in wheels]})
+        assert cdb.get(car.oid)["name"] == "renamed"
+
+    def test_exclusivity_released_on_parent_update(self, cdb):
+        car, wheels = make_car(cdb)
+        cdb.update(car.oid, {"wheels": []})
+        # Now another car may own the wheel.
+        cdb.new("Car", {"name": "reuser", "wheels": [wheels[0].oid]})
+
+
+class TestDeletePropagation:
+    def test_dependent_parts_cascade(self, cdb):
+        car, wheels = make_car(cdb)
+        cdb.delete(car.oid)
+        for wheel in wheels:
+            assert not cdb.exists(wheel.oid)
+
+    def test_non_dependent_part_survives(self, cdb):
+        manual = cdb.new("Manual", {"pages": 10})
+        car, _ = make_car(cdb, manual=manual.oid)
+        cdb.delete(car.oid)
+        assert cdb.exists(manual.oid)
+
+    def test_recursive_cascade(self, cdb):
+        cdb.define_class(
+            "Assembly",
+            attributes=[
+                AttributeDef(
+                    "parts", "Assembly", multi=True, composite=True,
+                    exclusive=True, dependent=True,
+                ),
+            ],
+        )
+        leaf = cdb.new("Assembly", {"parts": []})
+        middle = cdb.new("Assembly", {"parts": [leaf.oid]})
+        root = cdb.new("Assembly", {"parts": [middle.oid]})
+        cdb.delete(root.oid)
+        assert not cdb.exists(middle.oid)
+        assert not cdb.exists(leaf.oid)
+
+    def test_cascade_in_one_transaction_rolls_back_together(self, cdb):
+        car, wheels = make_car(cdb)
+        txn = cdb.transaction()
+        cdb.delete(car.oid)
+        assert not cdb.exists(wheels[0].oid)
+        txn.abort()
+        assert cdb.exists(car.oid)
+        assert cdb.exists(wheels[0].oid)
+
+    def test_shared_dependent_part_kept_while_other_parent_exists(self, cdb):
+        cdb.define_class(
+            "Folder",
+            attributes=[
+                AttributeDef(
+                    "docs", "Manual", multi=True, composite=True, dependent=True
+                ),
+            ],
+        )
+        doc = cdb.new("Manual", {"pages": 1})
+        f1 = cdb.new("Folder", {"docs": [doc.oid]})
+        f2 = cdb.new("Folder", {"docs": [doc.oid]})
+        cdb.delete(f1.oid)
+        assert cdb.exists(doc.oid)  # still held by f2
+        cdb.delete(f2.oid)
+        assert not cdb.exists(doc.oid)
+
+
+class TestClosureQueries:
+    def test_parts_of_transitive(self, cdb):
+        cdb.define_class(
+            "Assembly",
+            attributes=[
+                AttributeDef(
+                    "parts", "Assembly", multi=True, composite=True,
+                    exclusive=True, dependent=True,
+                ),
+            ],
+        )
+        leaves = [cdb.new("Assembly", {"parts": []}) for _ in range(2)]
+        middle = cdb.new("Assembly", {"parts": [l.oid for l in leaves]})
+        root = cdb.new("Assembly", {"parts": [middle.oid]})
+        parts = cdb.composites.parts_of(root.oid)
+        assert set(parts) == {middle.oid, leaves[0].oid, leaves[1].oid}
+        direct = cdb.composites.parts_of(root.oid, transitive=False)
+        assert direct == [middle.oid]
+
+    def test_parents_and_root(self, cdb):
+        car, wheels = make_car(cdb)
+        parents = cdb.composites.parents_of(wheels[0].oid)
+        assert parents == [(car.oid, "wheels")]
+        assert cdb.composites.composite_root_of(wheels[0].oid) == car.oid
+        assert cdb.composites.composite_root_of(car.oid) == car.oid
+
+    def test_is_part(self, cdb):
+        car, wheels = make_car(cdb)
+        assert cdb.composites.is_part(wheels[0].oid)
+        assert not cdb.composites.is_part(car.oid)
+
+    def test_rebuild_from_storage(self, cdb):
+        car, wheels = make_car(cdb)
+        cdb.composites._parents.clear()
+        cdb.composites.rebuild()
+        assert cdb.composites.parents_of(wheels[0].oid) == [(car.oid, "wheels")]

@@ -1,0 +1,116 @@
+"""Composite objects as units of locking, checkout and deletion [KIM89c]."""
+
+import pytest
+
+from repro import AttributeDef, Database
+from repro.composite import attach
+from repro.errors import CompositeError, LockTimeoutError
+
+
+@pytest.fixture
+def adb():
+    db = Database()
+    attach(db)
+    db.define_class(
+        "Part2",
+        attributes=[AttributeDef("label", "String")],
+    )
+    db.define_class(
+        "Assembly",
+        attributes=[
+            AttributeDef("label", "String"),
+            AttributeDef(
+                "subs", "Assembly", multi=True, composite=True,
+                exclusive=True, dependent=True,
+            ),
+            AttributeDef("doc", "Part2", composite=True),  # shared part
+        ],
+    )
+    return db
+
+
+def build_assembly(db):
+    doc = db.new("Part2", {"label": "shared-doc"})
+    leaves = [db.new("Assembly", {"label": "leaf-%d" % i}) for i in range(3)]
+    mid = db.new("Assembly", {"label": "mid", "subs": [l.oid for l in leaves]})
+    root = db.new(
+        "Assembly", {"label": "root", "subs": [mid.oid], "doc": doc.oid}
+    )
+    return root, mid, leaves, doc
+
+
+class TestCompositeLocking:
+    def test_locks_whole_closure(self, adb):
+        root, mid, leaves, doc = build_assembly(adb)
+        with adb.transaction() as txn:
+            count = adb.composites.lock_composite(root.oid, write=True)
+            assert count == 2 + len(leaves) + 1  # root, mid, leaves, doc
+            for oid in [root.oid, mid.oid, doc.oid] + [l.oid for l in leaves]:
+                assert adb.locks.holds(txn.txn_id, ("object", oid), "X")
+            txn.abort()
+
+    def test_requires_transaction(self, adb):
+        root, *_rest = build_assembly(adb)
+        with pytest.raises(CompositeError):
+            adb.composites.lock_composite(root.oid)
+
+    def test_blocks_part_writers(self, adb):
+        root, mid, _leaves, _doc = build_assembly(adb)
+        txn = adb.transaction()
+        adb.composites.lock_composite(root.oid, write=True)
+        with pytest.raises(LockTimeoutError):
+            adb.locks.acquire(9999, ("object", mid.oid), "S", timeout=0.05)
+        txn.abort()
+
+    def test_read_lock_allows_other_readers(self, adb):
+        root, mid, _leaves, _doc = build_assembly(adb)
+        txn = adb.transaction()
+        adb.composites.lock_composite(root.oid, write=False)
+        adb.locks.acquire(9999, ("object", mid.oid), "S", timeout=0.05)
+        adb.locks.release_all(9999)
+        txn.abort()
+
+
+class TestCompositeCheckout:
+    def test_checkout_closure(self, adb):
+        root, mid, leaves, doc = build_assembly(adb)
+        workspace = adb.workspace("designer")
+        taken = adb.composites.checkout_composite(workspace, root.oid)
+        assert set(taken) == {root.oid, mid.oid, doc.oid} | {l.oid for l in leaves}
+        workspace.update(mid.oid, {"label": "mid-v2"})
+        report = workspace.checkin()
+        assert report.ok
+        assert adb.get(mid.oid)["label"] == "mid-v2"
+
+    def test_checkout_conflict_on_any_part(self, adb):
+        root, mid, _leaves, _doc = build_assembly(adb)
+        workspace = adb.workspace()
+        adb.composites.checkout_composite(workspace, root.oid)
+        workspace.update(root.oid, {"label": "root-v2"})
+        adb.update(mid.oid, {"label": "changed-behind-your-back"})
+        report = workspace.checkin()
+        assert not report.ok
+        assert report.conflicts[0].oid == mid.oid
+
+
+class TestDeleteComposite:
+    def test_deletes_exclusive_closure_keeps_shared(self, adb):
+        root, mid, leaves, doc = build_assembly(adb)
+        deleted = adb.composites.delete_composite(root.oid)
+        assert deleted == 2 + len(leaves)  # root + mid + leaves; doc shared
+        assert not adb.exists(root.oid)
+        assert not adb.exists(mid.oid)
+        for leaf in leaves:
+            assert not adb.exists(leaf.oid)
+        assert adb.exists(doc.oid)
+
+    def test_delete_composite_is_atomic(self, adb):
+        root, mid, leaves, _doc = build_assembly(adb)
+        txn = adb.transaction()
+        adb.composites.delete_composite(root.oid)
+        assert not adb.exists(mid.oid)
+        txn.abort()
+        assert adb.exists(root.oid)
+        assert adb.exists(mid.oid)
+        for leaf in leaves:
+            assert adb.exists(leaf.oid)

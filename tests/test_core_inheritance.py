@@ -1,0 +1,103 @@
+"""C3 linearization and conflict resolution."""
+
+import pytest
+
+from repro.core.inheritance import c3_linearize, detect_cycle, resolve_by_precedence
+from repro.errors import CycleError, InheritanceConflictError
+
+
+def make_parents(graph):
+    return lambda name: graph.get(name, [])
+
+
+class TestLinearization:
+    def test_single_chain(self):
+        graph = {"C": ["B"], "B": ["A"], "A": []}
+        assert c3_linearize("C", make_parents(graph)) == ["C", "B", "A"]
+
+    def test_diamond_respects_local_order(self):
+        graph = {"D": ["B", "C"], "B": ["A"], "C": ["A"], "A": []}
+        assert c3_linearize("D", make_parents(graph)) == ["D", "B", "C", "A"]
+
+    def test_matches_python_mro(self):
+        class A:  # noqa: N801 - mirrors graph names
+            pass
+
+        class B(A):
+            pass
+
+        class C(A):
+            pass
+
+        class D(B, C):
+            pass
+
+        class E(C, B):
+            pass
+
+        graph = {"D": ["B", "C"], "E": ["C", "B"], "B": ["A"], "C": ["A"], "A": []}
+        assert c3_linearize("D", make_parents(graph)) == [
+            k.__name__ for k in D.__mro__ if k is not object
+        ]
+        assert c3_linearize("E", make_parents(graph)) == [
+            k.__name__ for k in E.__mro__ if k is not object
+        ]
+
+    def test_inconsistent_order_raises(self):
+        graph = {
+            "G": ["E", "F"],
+            "E": ["B", "C"],
+            "F": ["C", "B"],
+            "B": [],
+            "C": [],
+        }
+        with pytest.raises(InheritanceConflictError):
+            c3_linearize("G", make_parents(graph))
+
+    def test_cycle_raises(self):
+        graph = {"A": ["B"], "B": ["A"]}
+        with pytest.raises(CycleError):
+            c3_linearize("A", make_parents(graph))
+
+    def test_deep_multiple_inheritance(self):
+        graph = {
+            "X": ["M1", "M2", "M3"],
+            "M1": ["Base"],
+            "M2": ["Base"],
+            "M3": ["Base"],
+            "Base": [],
+        }
+        assert c3_linearize("X", make_parents(graph)) == [
+            "X", "M1", "M2", "M3", "Base",
+        ]
+
+
+class TestCycleDetection:
+    def test_no_cycle(self):
+        graph = {"B": ["A"], "A": []}
+        assert detect_cycle(["A", "B"], make_parents(graph)) == []
+
+    def test_self_loop(self):
+        graph = {"A": ["A"]}
+        cycle = detect_cycle(["A"], make_parents(graph))
+        assert cycle[0] == cycle[-1] == "A"
+
+    def test_long_cycle_found(self):
+        graph = {"A": ["B"], "B": ["C"], "C": ["A"]}
+        cycle = detect_cycle(["A"], make_parents(graph))
+        assert len(cycle) >= 3
+
+
+class TestPrecedenceResolution:
+    def test_first_definition_wins(self):
+        members = {
+            "C": {"f": "C.f"},
+            "B": {"f": "B.f", "g": "B.g"},
+            "A": {"f": "A.f", "h": "A.h"},
+        }
+        resolved = resolve_by_precedence(["C", "B", "A"], lambda c: members.get(c, {}))
+        assert resolved == {"f": "C.f", "g": "B.g", "h": "A.h"}
+
+    def test_empty_classes_skipped(self):
+        resolved = resolve_by_precedence(["C", "B"], lambda c: {})
+        assert resolved == {}

@@ -1,0 +1,207 @@
+"""Objects, handles, encapsulation and message passing (concepts 1-3, 6)."""
+
+import pytest
+
+from repro import AttributeDef, Database, MethodDef
+from repro.core.obj import ObjectState
+from repro.core.oid import OID
+from repro.errors import (
+    AttributeNotFoundError,
+    MethodNotFoundError,
+    ObjectNotFoundError,
+    TypeCheckError,
+)
+
+
+class TestObjectState:
+    def test_copy_is_deep_enough(self):
+        state = ObjectState(OID(1), "A", {"xs": [1, 2], "y": 3})
+        copy = state.copy()
+        copy.values["xs"].append(99)
+        copy.values["y"] = 4
+        assert state.values == {"xs": [1, 2], "y": 3}
+
+    def test_references_iterates_single_and_multi(self):
+        state = ObjectState(
+            OID(1), "A", {"a": OID(2), "b": [OID(3), 5, OID(4)], "c": "x"}
+        )
+        assert sorted(state.references()) == [OID(2), OID(3), OID(4)]
+
+    def test_equality(self):
+        a = ObjectState(OID(1), "A", {"x": 1})
+        b = ObjectState(OID(1), "A", {"x": 1})
+        assert a == b
+        assert a != ObjectState(OID(1), "A", {"x": 2})
+
+
+class TestLifecycle:
+    def test_new_assigns_unique_oids(self, shape_db):
+        first = shape_db.new("Shape", {"name": "a"})
+        second = shape_db.new("Shape", {"name": "b"})
+        assert first.oid != second.oid
+
+    def test_defaults_applied(self, shape_db):
+        rect = shape_db.new("RectangleShape", {"name": "r"})
+        assert rect["width"] == 1 and rect["height"] == 1
+
+    def test_get_unknown_oid_raises(self, shape_db):
+        with pytest.raises(ObjectNotFoundError):
+            shape_db.get(OID(9999))
+
+    def test_update_and_read(self, shape_db):
+        rect = shape_db.new("RectangleShape", {"name": "r", "width": 3})
+        shape_db.update(rect.oid, {"width": 10})
+        assert shape_db.get(rect.oid)["width"] == 10
+
+    def test_update_validates(self, shape_db):
+        rect = shape_db.new("RectangleShape", {"name": "r"})
+        with pytest.raises(TypeCheckError):
+            shape_db.update(rect.oid, {"width": "wide"})
+
+    def test_delete(self, shape_db):
+        rect = shape_db.new("RectangleShape", {"name": "r"})
+        shape_db.delete(rect.oid)
+        assert not shape_db.exists(rect.oid)
+        with pytest.raises(ObjectNotFoundError):
+            shape_db.get_state(rect.oid)
+
+    def test_instance_of_single_class(self, shape_db):
+        square = shape_db.new("Square", {"name": "s"})
+        assert shape_db.class_of(square.oid) == "Square"
+
+    def test_new_rejects_unknown_attribute(self, shape_db):
+        with pytest.raises(AttributeNotFoundError):
+            shape_db.new("Shape", {"bogus": 1})
+
+
+class TestHandles:
+    def test_getitem_reads_current_state(self, shape_db):
+        rect = shape_db.new("RectangleShape", {"name": "r", "width": 2})
+        assert rect["width"] == 2
+
+    def test_setitem_persists(self, shape_db):
+        rect = shape_db.new("RectangleShape", {"name": "r"})
+        rect["width"] = 7
+        assert shape_db.get_state(rect.oid).values["width"] == 7
+
+    def test_getitem_unknown_attribute(self, shape_db):
+        rect = shape_db.new("RectangleShape", {"name": "r"})
+        with pytest.raises(AttributeNotFoundError):
+            rect["bogus"]
+
+    def test_get_with_default(self, shape_db):
+        rect = shape_db.new("RectangleShape", {"name": "r"})
+        assert rect.get("bogus", 42) == 42
+
+    def test_fetch_dereferences(self, db):
+        db.define_class("B", attributes=[AttributeDef("tag", "String")])
+        db.define_class("A", attributes=[AttributeDef("b", "B")])
+        b = db.new("B", {"tag": "hello"})
+        a = db.new("A", {"b": b.oid})
+        assert a.fetch("b")["tag"] == "hello"
+
+    def test_fetch_none_reference(self, db):
+        db.define_class("B")
+        db.define_class("A", attributes=[AttributeDef("b", "B")])
+        a = db.new("A")
+        assert a.fetch("b") is None
+
+    def test_fetch_all(self, db):
+        db.define_class("B", attributes=[AttributeDef("n", "Integer")])
+        db.define_class("A", attributes=[AttributeDef("bs", "B", multi=True)])
+        bs = [db.new("B", {"n": i}) for i in range(3)]
+        a = db.new("A", {"bs": [b.oid for b in bs]})
+        assert [h["n"] for h in a.fetch_all("bs")] == [0, 1, 2]
+
+    def test_is_instance_of(self, shape_db):
+        square = shape_db.new("Square", {"name": "s"})
+        assert square.is_instance_of("Shape")
+        assert square.is_instance_of("Square", strict=True)
+        assert not square.is_instance_of("Shape", strict=True)
+
+    def test_handle_equality_and_hash(self, shape_db):
+        shape = shape_db.new("Shape", {"name": "x"})
+        again = shape_db.get(shape.oid)
+        assert shape == again
+        assert len({shape, again}) == 1
+
+    def test_to_dict_returns_copy(self, shape_db):
+        shape = shape_db.new("Shape", {"name": "x"})
+        d = shape.to_dict()
+        d["name"] = "mutated"
+        assert shape["name"] == "x"
+
+
+class TestMessagePassing:
+    def test_send_invokes_method(self, shape_db):
+        shape = shape_db.new("Shape", {"name": "s"})
+        assert shape.send("display") == "Shape@s"
+
+    def test_late_binding_picks_most_specific(self, shape_db):
+        rect = shape_db.new("RectangleShape", {"name": "r", "width": 3, "height": 4})
+        assert rect.send("area") == 12
+
+    def test_inherited_method_binds_up_hierarchy(self, shape_db):
+        square = shape_db.new("Square", {"name": "q", "width": 5, "height": 5})
+        # area comes from RectangleShape, display redefined on Square.
+        assert square.send("area") == 25
+        assert square.send("display") == "Square@q"
+
+    def test_unknown_message_raises(self, shape_db):
+        shape = shape_db.new("Shape", {"name": "s"})
+        with pytest.raises(MethodNotFoundError):
+            shape.send("rotate")
+
+    def test_super_send(self, shape_db):
+        square = shape_db.new("Square", {"name": "q"})
+        assert square.super_send("Square", "display") == "Shape@q"
+
+    def test_responds_to(self, shape_db):
+        shape = shape_db.new("Shape", {"name": "s"})
+        assert shape.responds_to("display")
+        assert not shape.responds_to("rotate")
+
+    def test_method_with_arguments(self, db):
+        def scale(receiver, factor):
+            return receiver["size"] * factor
+
+        db.define_class(
+            "Thing",
+            attributes=[AttributeDef("size", "Integer", default=2)],
+            methods=[MethodDef("scale", scale)],
+        )
+        thing = db.new("Thing")
+        assert thing.send("scale", 10) == 20
+        assert db.send(thing.oid, "scale", factor=3) == 6
+
+    def test_method_can_send_further_messages(self, db):
+        def describe(receiver):
+            return "size=%d doubled=%d" % (receiver["size"], receiver.send("double"))
+
+        def double(receiver):
+            return receiver["size"] * 2
+
+        db.define_class(
+            "Chained",
+            attributes=[AttributeDef("size", "Integer", default=5)],
+            methods=[MethodDef("describe", describe), MethodDef("double", double)],
+        )
+        assert db.new("Chained").send("describe") == "size=5 doubled=10"
+
+
+class TestSelfReferentialDomain:
+    def test_class_can_reference_itself(self, db):
+        # Core concept 4: "The domain of an attribute of a class C may be
+        # the class C."
+        db.define_class(
+            "Person",
+            attributes=[
+                AttributeDef("name", "String"),
+                AttributeDef("spouse", "Person"),
+            ],
+        )
+        alice = db.new("Person", {"name": "alice"})
+        bob = db.new("Person", {"name": "bob", "spouse": alice.oid})
+        db.update(alice.oid, {"spouse": bob.oid})
+        assert alice.fetch("spouse")["name"] == "bob"
+        assert bob.fetch("spouse").fetch("spouse")["name"] == "bob"

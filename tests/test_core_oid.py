@@ -1,0 +1,70 @@
+"""OIDs: identity, ordering, generation."""
+
+import pytest
+
+from repro.core.oid import OID, OIDGenerator
+
+
+class TestOID:
+    def test_equality_ignores_hint(self):
+        assert OID(5, "Vehicle") == OID(5, "Company")
+
+    def test_inequality_by_value(self):
+        assert OID(5) != OID(6)
+
+    def test_not_equal_to_plain_int(self):
+        assert OID(5) != 5
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(OID(9, "A")) == hash(OID(9, "B"))
+        assert len({OID(1), OID(1, "x"), OID(2)}) == 2
+
+    def test_total_order(self):
+        assert OID(1) < OID(2) <= OID(2) < OID(3)
+        assert OID(3) > OID(2) >= OID(2)
+
+    def test_sorting(self):
+        oids = [OID(3), OID(1), OID(2)]
+        assert [o.value for o in sorted(oids)] == [1, 2, 3]
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            OID(-1)
+
+    def test_repr_includes_hint(self):
+        assert "Vehicle" in repr(OID(7, "Vehicle"))
+        assert repr(OID(7)) == "@7"
+
+
+class TestOIDGenerator:
+    def test_monotonic(self):
+        gen = OIDGenerator()
+        values = [gen.next().value for _ in range(10)]
+        assert values == sorted(values)
+        assert len(set(values)) == 10
+
+    def test_starts_at_one(self):
+        assert OIDGenerator().next().value == 1
+
+    def test_hint_propagates(self):
+        assert OIDGenerator().next("Part").hint == "Part"
+
+    def test_advance_past(self):
+        gen = OIDGenerator()
+        gen.next()
+        gen.advance_past(100)
+        assert gen.next().value == 101
+
+    def test_advance_past_lower_value_is_noop(self):
+        gen = OIDGenerator()
+        for _ in range(5):
+            gen.next()
+        gen.advance_past(2)
+        assert gen.next().value == 6
+
+    def test_last_issued(self):
+        gen = OIDGenerator()
+        assert gen.last_issued == 0
+        gen.next()
+        gen.next()
+        assert gen.last_issued == 2

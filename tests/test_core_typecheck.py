@@ -1,0 +1,180 @@
+"""Domain checking of attribute values (core concept 4)."""
+
+import pytest
+
+from repro.core.attribute import AttributeDef
+from repro.core.oid import OID
+from repro.core.schema import Schema
+from repro.errors import AttributeNotFoundError, SchemaError, TypeCheckError
+
+
+@pytest.fixture
+def schema():
+    s = Schema()
+    s.define_class("Company", attributes=[AttributeDef("name", "String")])
+    s.define_class("AutoCompany", superclasses=("Company",))
+    s.define_class(
+        "Vehicle",
+        attributes=[
+            AttributeDef("weight", "Integer"),
+            AttributeDef("price", "Float"),
+            AttributeDef("name", "String", required=True),
+            AttributeDef("electric", "Boolean"),
+            AttributeDef("blob", "Bytes"),
+            AttributeDef("maker", "Company"),
+            AttributeDef("tags", "String", multi=True),
+            AttributeDef("anything", "Any"),
+            AttributeDef("thing", "Object"),
+        ],
+    )
+    return s
+
+
+def check(schema, attr_name, value, deref=None):
+    attr = schema.attribute("Vehicle", attr_name)
+    schema.check_value(attr, value, deref)
+
+
+class TestPrimitives:
+    def test_integer_accepts_int(self, schema):
+        check(schema, "weight", 7500)
+
+    def test_integer_rejects_bool(self, schema):
+        with pytest.raises(TypeCheckError):
+            check(schema, "weight", True)
+
+    def test_integer_rejects_str(self, schema):
+        with pytest.raises(TypeCheckError):
+            check(schema, "weight", "heavy")
+
+    def test_float_accepts_int_widening(self, schema):
+        check(schema, "price", 100)
+        check(schema, "price", 99.5)
+
+    def test_boolean_only_accepts_bool(self, schema):
+        check(schema, "electric", True)
+        with pytest.raises(TypeCheckError):
+            check(schema, "electric", 1)
+
+    def test_bytes(self, schema):
+        check(schema, "blob", b"\x00\x01")
+        with pytest.raises(TypeCheckError):
+            check(schema, "blob", "text")
+
+    def test_none_allowed_when_optional(self, schema):
+        check(schema, "weight", None)
+
+    def test_required_rejects_none(self, schema):
+        with pytest.raises(TypeCheckError):
+            check(schema, "name", None)
+
+
+class TestReferences:
+    def test_reference_structural_ok_without_deref(self, schema):
+        check(schema, "maker", OID(3))
+
+    def test_reference_to_exact_class(self, schema):
+        check(schema, "maker", OID(3), deref=lambda oid: "Company")
+
+    def test_reference_to_subclass_allowed(self, schema):
+        check(schema, "maker", OID(3), deref=lambda oid: "AutoCompany")
+
+    def test_reference_to_unrelated_class_rejected(self, schema):
+        with pytest.raises(TypeCheckError):
+            check(schema, "maker", OID(3), deref=lambda oid: "Vehicle")
+
+    def test_dangling_reference_rejected(self, schema):
+        with pytest.raises(TypeCheckError):
+            check(schema, "maker", OID(3), deref=lambda oid: None)
+
+    def test_primitive_domain_rejects_reference(self, schema):
+        with pytest.raises(TypeCheckError):
+            check(schema, "weight", OID(3))
+
+    def test_class_domain_rejects_primitive(self, schema):
+        with pytest.raises(TypeCheckError):
+            check(schema, "maker", "GM")
+
+
+class TestMultiValued:
+    def test_list_required(self, schema):
+        with pytest.raises(TypeCheckError):
+            check(schema, "tags", "solo")
+
+    def test_all_elements_checked(self, schema):
+        check(schema, "tags", ["a", "b"])
+        with pytest.raises(TypeCheckError):
+            check(schema, "tags", ["a", 3])
+
+    def test_none_inside_set_rejected(self, schema):
+        with pytest.raises(TypeCheckError):
+            check(schema, "tags", ["a", None])
+
+    def test_empty_list_ok_when_optional(self, schema):
+        check(schema, "tags", [])
+
+
+class TestAnyAndObject:
+    def test_any_accepts_everything(self, schema):
+        for value in (1, "x", True, b"b", OID(1), 3.5):
+            check(schema, "anything", value)
+
+    def test_object_accepts_primitives_and_refs(self, schema):
+        check(schema, "thing", 5)
+        check(schema, "thing", OID(2))
+
+
+class TestValidateState:
+    def test_full_state_ok(self, schema):
+        schema.validate_state("Vehicle", {"name": "v1", "weight": 100})
+
+    def test_missing_required_rejected(self, schema):
+        with pytest.raises(TypeCheckError):
+            schema.validate_state("Vehicle", {"weight": 100})
+
+    def test_partial_skips_required_check(self, schema):
+        schema.validate_state("Vehicle", {"weight": 100}, partial=True)
+
+    def test_unknown_attribute_rejected(self, schema):
+        with pytest.raises(AttributeNotFoundError):
+            schema.validate_state("Vehicle", {"name": "v", "ghost": 1})
+
+    def test_abstract_class_not_instantiable(self, schema):
+        schema.define_class("AbstractThing", abstract=True)
+        with pytest.raises(TypeCheckError):
+            schema.validate_state("AbstractThing", {})
+
+    def test_default_state(self, schema):
+        defaults = schema.default_state("Vehicle")
+        assert defaults["tags"] == []
+        assert defaults["weight"] is None
+
+    def test_default_state_lists_not_shared(self, schema):
+        one = schema.default_state("Vehicle")
+        two = schema.default_state("Vehicle")
+        one["tags"].append("x")
+        assert two["tags"] == []
+
+
+class TestAttributeDefValidation:
+    def test_underscore_names_reserved(self):
+        with pytest.raises(SchemaError):
+            AttributeDef("_hidden")
+
+    def test_invalid_identifier(self):
+        with pytest.raises(SchemaError):
+            AttributeDef("not a name")
+
+    def test_exclusive_requires_composite(self):
+        with pytest.raises(SchemaError):
+            AttributeDef("part", "Any", exclusive=True)
+
+    def test_multi_default_is_list(self):
+        assert AttributeDef("xs", "Integer", multi=True).default_value() == []
+
+    def test_clone_preserves_flags(self):
+        attr = AttributeDef(
+            "part", "Any", composite=True, exclusive=True, dependent=True
+        )
+        copy = attr.clone()
+        assert copy.composite and copy.exclusive and copy.dependent

@@ -1,0 +1,162 @@
+"""B+-tree substrate."""
+
+import random
+
+import pytest
+
+from repro.core.oid import OID
+from repro.errors import KimDBError
+from repro.index.btree import BTree, normalize_key
+
+
+class TestNormalizeKey:
+    def test_type_ranks_ordered(self):
+        keys = [None, False, True, -5, 2.5, 7, "a", b"b", OID(1)]
+        normalized = [normalize_key(k) for k in keys]
+        assert normalized == sorted(normalized)
+
+    def test_int_float_interleave(self):
+        assert normalize_key(1) < normalize_key(1.5) < normalize_key(2)
+
+    def test_int_equals_equal_float(self):
+        assert normalize_key(7500) == normalize_key(7500.0)
+
+    def test_unindexable_value(self):
+        with pytest.raises(KimDBError):
+            normalize_key([1, 2])
+
+
+class TestInsertSearch:
+    def test_search_empty(self):
+        assert BTree().search(5) == []
+
+    def test_single_entry(self):
+        tree = BTree()
+        tree.insert(5, "A", OID(1))
+        assert tree.search(5) == [("A", OID(1))]
+
+    def test_duplicates_same_key(self):
+        tree = BTree()
+        tree.insert(5, "A", OID(1))
+        tree.insert(5, "B", OID(2))
+        assert sorted(tree.search(5)) == [("A", OID(1)), ("B", OID(2))]
+
+    def test_many_keys_split(self):
+        tree = BTree(order=4)
+        for value in range(200):
+            tree.insert(value, "A", OID(value + 1))
+        assert tree.depth() > 1
+        for value in (0, 57, 199):
+            assert tree.search(value) == [("A", OID(value + 1))]
+        tree.check_invariants()
+
+    def test_random_insert_order(self):
+        rng = random.Random(0)
+        values = list(range(500))
+        rng.shuffle(values)
+        tree = BTree(order=8)
+        for value in values:
+            tree.insert(value, "A", OID(value + 1))
+        tree.check_invariants()
+        assert list(tree.iter_keys()) == list(range(500))
+
+    def test_mixed_type_keys(self):
+        tree = BTree()
+        tree.insert("detroit", "A", OID(1))
+        tree.insert(42, "A", OID(2))
+        tree.insert(None, "A", OID(3))
+        tree.check_invariants()
+        assert tree.search("detroit") == [("A", OID(1))]
+        assert tree.search(None) == [("A", OID(3))]
+
+    def test_order_validation(self):
+        with pytest.raises(KimDBError):
+            BTree(order=2)
+
+
+class TestRange:
+    @pytest.fixture
+    def tree(self):
+        tree = BTree(order=4)
+        for value in range(0, 100, 10):
+            tree.insert(value, "A", OID(value + 1))
+        return tree
+
+    def keys(self, result):
+        return [key for key, _entries in result]
+
+    def test_full_range(self, tree):
+        assert self.keys(tree.range()) == list(range(0, 100, 10))
+
+    def test_bounded_inclusive(self, tree):
+        assert self.keys(tree.range(20, 50)) == [20, 30, 40, 50]
+
+    def test_bounded_exclusive(self, tree):
+        assert self.keys(tree.range(20, 50, include_low=False, include_high=False)) == [30, 40]
+
+    def test_open_low(self, tree):
+        assert self.keys(tree.range(high=25)) == [0, 10, 20]
+
+    def test_open_high(self, tree):
+        assert self.keys(tree.range(low=75)) == [80, 90]
+
+    def test_bounds_between_keys(self, tree):
+        assert self.keys(tree.range(15, 35)) == [20, 30]
+
+    def test_empty_range(self, tree):
+        assert self.keys(tree.range(101, 200)) == []
+
+
+class TestRemove:
+    def test_remove_entry(self):
+        tree = BTree()
+        tree.insert(5, "A", OID(1))
+        assert tree.remove(5, "A", OID(1))
+        assert tree.search(5) == []
+        assert len(tree) == 0
+
+    def test_remove_one_of_duplicates(self):
+        tree = BTree()
+        tree.insert(5, "A", OID(1))
+        tree.insert(5, "A", OID(2))
+        assert tree.remove(5, "A", OID(1))
+        assert tree.search(5) == [("A", OID(2))]
+
+    def test_remove_missing_returns_false(self):
+        tree = BTree()
+        tree.insert(5, "A", OID(1))
+        assert not tree.remove(5, "A", OID(99))
+        assert not tree.remove(6, "A", OID(1))
+
+    def test_heavy_churn_keeps_invariants(self):
+        rng = random.Random(1)
+        tree = BTree(order=6)
+        live = set()
+        for step in range(2000):
+            value = rng.randrange(100)
+            oid = OID(value + 1)
+            if (value, oid.value) in live and rng.random() < 0.5:
+                tree.remove(value, "A", oid)
+                live.discard((value, oid.value))
+            elif (value, oid.value) not in live:
+                tree.insert(value, "A", oid)
+                live.add((value, oid.value))
+        tree.check_invariants()
+        assert len(tree) == len(live)
+
+    def test_clear(self):
+        tree = BTree()
+        for value in range(10):
+            tree.insert(value, "A", OID(value + 1))
+        tree.clear()
+        assert len(tree) == 0
+        assert list(tree.iter_keys()) == []
+
+
+class TestIterEntries:
+    def test_entries_in_key_order(self):
+        tree = BTree()
+        tree.insert(2, "B", OID(2))
+        tree.insert(1, "A", OID(1))
+        entries = list(tree.iter_entries())
+        assert entries == [(1, ("A", OID(1))), (2, ("B", OID(2)))]

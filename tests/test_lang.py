@@ -1,0 +1,231 @@
+"""kimdb DL: the DDL/DML/DCL statement language."""
+
+import pytest
+
+from repro import Database
+from repro.authz import attach as attach_authz
+from repro.errors import AuthorizationError, QuerySyntaxError
+from repro.lang import Interpreter
+from repro.views import attach as attach_views
+
+
+@pytest.fixture
+def interp():
+    db = Database()
+    attach_views(db)
+    interpreter = Interpreter(db)
+    interpreter.run_script(
+        """
+        CREATE CLASS Company (name String REQUIRED, location String);
+        CREATE CLASS AutoCompany UNDER Company;
+        CREATE CLASS Vehicle (
+            weight Integer,
+            color String DEFAULT 'white',
+            manufacturer Company
+        );
+        CREATE CLASS Truck UNDER Vehicle (payload Integer);
+        """
+    )
+    return interpreter
+
+
+def insert_fixture(interp):
+    gm = interp.execute(
+        "INSERT INTO Company SET name = 'GM', location = 'Detroit'"
+    ).value
+    interp.execute(
+        "INSERT INTO Vehicle SET weight = 8000, manufacturer = @%d" % gm.oid.value
+    )
+    interp.execute(
+        "INSERT INTO Truck SET weight = 9500, payload = 10, manufacturer = @%d"
+        % gm.oid.value
+    )
+    return gm
+
+
+class TestDDL:
+    def test_create_class_defaults(self, interp):
+        vehicle = interp.execute("INSERT INTO Vehicle SET weight = 1").value
+        assert vehicle["color"] == "white"
+
+    def test_create_class_under(self, interp):
+        assert interp.db.schema.is_subclass("Truck", "Vehicle")
+        assert interp.db.schema.is_subclass("AutoCompany", "Company")
+
+    def test_attribute_flags(self, interp):
+        interp.execute(
+            "CREATE CLASS Assembly (parts Assembly MULTI COMPOSITE EXCLUSIVE DEPENDENT)"
+        )
+        attr = interp.db.schema.attribute("Assembly", "parts")
+        assert attr.multi and attr.composite and attr.exclusive and attr.dependent
+
+    def test_create_index_kinds(self, interp):
+        result = interp.execute("CREATE INDEX ON Vehicle(weight)")
+        assert result.value.kind == "class-hierarchy"
+        result = interp.execute("CREATE INDEX sc_w ON Truck(weight) CLASS")
+        assert result.value.kind == "single-class"
+        result = interp.execute("CREATE INDEX ON Vehicle(manufacturer.location)")
+        assert result.value.kind == "nested-attribute"
+
+    def test_drop_index(self, interp):
+        interp.execute("CREATE INDEX w ON Vehicle(weight)")
+        interp.execute("DROP INDEX w")
+        assert "w" not in interp.db.indexes.names()
+
+    def test_alter_class_attribute_cycle(self, interp):
+        interp.execute("ALTER CLASS Vehicle ADD ATTRIBUTE vin String")
+        assert "vin" in interp.db.schema.attributes("Truck")
+        interp.execute("ALTER CLASS Vehicle RENAME ATTRIBUTE vin TO serial")
+        assert "serial" in interp.db.schema.attributes("Vehicle")
+        interp.execute("ALTER CLASS Vehicle DROP ATTRIBUTE serial")
+        assert "serial" not in interp.db.schema.attributes("Vehicle")
+
+    def test_alter_superclass_edges(self, interp):
+        interp.execute("CREATE CLASS Electric (range_km Integer DEFAULT 300)")
+        interp.execute("ALTER CLASS Truck ADD SUPERCLASS Electric")
+        assert "range_km" in interp.db.schema.attributes("Truck")
+        interp.execute("ALTER CLASS Truck DROP SUPERCLASS Electric")
+        assert "range_km" not in interp.db.schema.attributes("Truck")
+
+    def test_rename_and_drop_class(self, interp):
+        interp.execute("CREATE CLASS Temp")
+        interp.execute("RENAME CLASS Temp TO Scratch")
+        assert interp.db.schema.has_class("Scratch")
+        interp.execute("DROP CLASS Scratch")
+        assert not interp.db.schema.has_class("Scratch")
+
+    def test_drop_class_with_migration(self, interp):
+        insert_fixture(interp)
+        result = interp.execute("DROP CLASS Truck MIGRATE TO Vehicle")
+        assert result.value == 1
+        assert interp.db.count("Vehicle", hierarchy=False) == 2
+
+    def test_create_view_and_query(self, interp):
+        insert_fixture(interp)
+        interp.execute(
+            "CREATE VIEW Heavy AS SELECT v FROM Vehicle v WHERE v.weight > 8500"
+        )
+        result = interp.execute("SELECT h FROM Heavy h")
+        assert len(result.value) == 1
+
+
+class TestDML:
+    def test_insert_returns_handle(self, interp):
+        result = interp.execute("INSERT INTO Company SET name = 'Ford'")
+        assert result.kind == "inserted"
+        assert result.value["name"] == "Ford"
+
+    def test_insert_with_oid_reference(self, interp):
+        gm = insert_fixture(interp)
+        vehicles = interp.execute(
+            "SELECT v FROM Vehicle v WHERE v.manufacturer.name = 'GM'"
+        ).value
+        assert len(vehicles) == 2
+        assert vehicles[0].fetch("manufacturer").oid == gm.oid
+
+    def test_insert_list_literal(self, interp):
+        interp.execute("CREATE CLASS Bag (tags String MULTI)")
+        bag = interp.execute("INSERT INTO Bag SET tags = ['a', 'b']").value
+        assert bag["tags"] == ["a", "b"]
+
+    def test_update_where(self, interp):
+        insert_fixture(interp)
+        result = interp.execute("UPDATE Vehicle SET color = 'red' WHERE weight > 9000")
+        assert result.value == 1
+        reds = interp.execute("SELECT v FROM Vehicle v WHERE v.color = 'red'").value
+        assert len(reds) == 1
+
+    def test_update_with_nested_where(self, interp):
+        insert_fixture(interp)
+        result = interp.execute(
+            "UPDATE Vehicle SET color = 'blue' WHERE manufacturer.location = 'Detroit'"
+        )
+        assert result.value == 2
+
+    def test_update_without_where_touches_all(self, interp):
+        insert_fixture(interp)
+        result = interp.execute("UPDATE Vehicle SET color = 'grey'")
+        assert result.value == 2
+
+    def test_delete_where(self, interp):
+        insert_fixture(interp)
+        result = interp.execute("DELETE FROM Vehicle WHERE weight < 9000")
+        assert result.value == 1
+        assert interp.db.count("Vehicle") == 1
+
+    def test_select_projection_rows(self, interp):
+        insert_fixture(interp)
+        result = interp.execute("SELECT v.weight FROM Vehicle v ORDER BY v.weight")
+        assert result.kind == "rows"
+        assert [row["weight"] for row in result.value] == [8000, 9500]
+
+    def test_select_aggregate(self, interp):
+        insert_fixture(interp)
+        result = interp.execute("SELECT COUNT(v), MAX(v.weight) FROM Vehicle v")
+        assert result.value[0]["count(*)"] == 2
+        assert result.value[0]["max(weight)"] == 9500
+
+
+class TestDCL:
+    def test_transaction_commit(self, interp):
+        interp.execute("BEGIN")
+        interp.execute("INSERT INTO Company SET name = 'Kept'")
+        interp.execute("COMMIT")
+        assert interp.execute(
+            "SELECT c FROM Company c WHERE c.name = 'Kept'"
+        ).value
+
+    def test_transaction_abort(self, interp):
+        interp.execute("BEGIN TRANSACTION")
+        interp.execute("INSERT INTO Company SET name = 'Lost'")
+        interp.execute("ROLLBACK")
+        assert not interp.execute(
+            "SELECT c FROM Company c WHERE c.name = 'Lost'"
+        ).value
+
+    def test_commit_without_begin_rejected(self, interp):
+        with pytest.raises(QuerySyntaxError):
+            interp.execute("COMMIT")
+
+    def test_grant_and_deny(self, interp):
+        authz = attach_authz(interp.db)
+        authz.add_role("clerk")
+        interp.execute("GRANT read ON Company TO clerk")
+        with authz.as_subject("clerk"):
+            assert interp.db.authz.allowed("read", "Company")
+            assert not interp.db.authz.allowed("read", "Vehicle")
+        interp.execute("DENY read ON Company TO clerk")
+        with authz.as_subject("clerk"):
+            assert not interp.db.authz.allowed("read", "Company")
+
+    def test_grant_without_authz_rejected(self, interp):
+        with pytest.raises(QuerySyntaxError):
+            interp.execute("GRANT read ON Company TO clerk")
+
+
+class TestScriptsAndErrors:
+    def test_run_script_with_comments_and_strings(self, interp):
+        results = interp.run_script(
+            """
+            -- semicolons inside strings are preserved
+            INSERT INTO Company SET name = 'a;b';
+            INSERT INTO Company SET name = 'c';
+            """
+        )
+        assert len(results) == 2
+        names = {r.value["name"] for r in results}
+        assert names == {"a;b", "c"}
+
+    def test_unknown_statement(self, interp):
+        with pytest.raises(QuerySyntaxError):
+            interp.execute("EXPLODE Vehicle")
+
+    def test_trailing_garbage_rejected(self, interp):
+        interp.execute("CREATE INDEX foo ON Vehicle(weight)")
+        with pytest.raises(QuerySyntaxError):
+            interp.execute("DROP INDEX foo bar baz")
+
+    def test_describe(self, interp):
+        result = interp.execute("DESCRIBE Truck")
+        assert "payload" in result.value
+        assert "[from Vehicle]" in result.value

@@ -1,0 +1,209 @@
+"""Hierarchical database, federation, OSQL migration."""
+
+import pytest
+
+from repro import AttributeDef, Database
+from repro.errors import FederationError, QuerySyntaxError
+from repro.multidb import (
+    Federation,
+    HierarchicalAdapter,
+    HierarchicalDatabase,
+    ObjectAdapter,
+    RelationalAdapter,
+    run_osql,
+    translate_sql,
+)
+from repro.relational import RelationalEngine
+
+
+@pytest.fixture
+def hdb():
+    hdb = HierarchicalDatabase("products")
+    hdb.define_segment("ProductLine", ["line"])
+    hdb.define_segment("Product", ["sku", "price"], parent="ProductLine")
+    trucks = hdb.insert("ProductLine", {"line": "trucks"})
+    cars = hdb.insert("ProductLine", {"line": "cars"})
+    hdb.insert("Product", {"sku": "T-100", "price": 50}, parent_id=trucks)
+    hdb.insert("Product", {"sku": "T-200", "price": 70}, parent_id=trucks)
+    hdb.insert("Product", {"sku": "C-1", "price": 30}, parent_id=cars)
+    return hdb
+
+
+class TestHierarchicalDatabase:
+    def test_roots_and_children(self, hdb):
+        roots = hdb.roots("ProductLine")
+        assert [r.fields["line"] for r in roots] == ["trucks", "cars"]
+        children = hdb.children(roots[0].record_id)
+        assert [c.fields["sku"] for c in children] == ["T-100", "T-200"]
+
+    def test_parent_navigation(self, hdb):
+        product = next(hdb.scan("Product"))
+        assert hdb.parent(product.record_id).fields["line"] == "trucks"
+
+    def test_root_has_no_parent(self, hdb):
+        root = hdb.roots("ProductLine")[0]
+        assert hdb.parent(root.record_id) is None
+
+    def test_child_requires_parent(self, hdb):
+        with pytest.raises(FederationError):
+            hdb.insert("Product", {"sku": "X"})
+
+    def test_root_takes_no_parent(self, hdb):
+        root = hdb.roots("ProductLine")[0]
+        with pytest.raises(FederationError):
+            hdb.insert("ProductLine", {"line": "x"}, parent_id=root.record_id)
+
+    def test_wrong_parent_segment_rejected(self, hdb):
+        product = next(hdb.scan("Product"))
+        with pytest.raises(FederationError):
+            hdb.insert("Product", {"sku": "Y"}, parent_id=product.record_id)
+
+    def test_unknown_fields_rejected(self, hdb):
+        with pytest.raises(FederationError):
+            hdb.insert("ProductLine", {"bogus": 1})
+
+    def test_duplicate_segment_rejected(self, hdb):
+        with pytest.raises(FederationError):
+            hdb.define_segment("Product", ["x"])
+
+
+@pytest.fixture
+def federation(hdb):
+    engine = RelationalEngine()
+    engine.create_table(
+        "Employee",
+        [("emp_id", "int"), ("name", "str"), ("company", "str")],
+        primary_key="emp_id",
+    )
+    engine.insert("Employee", {"emp_id": 1, "name": "alice", "company": "GM"})
+    engine.insert("Employee", {"emp_id": 2, "name": "bob", "company": "Ford"})
+
+    odb = Database()
+    odb.define_class(
+        "Company",
+        attributes=[AttributeDef("name", "String"), AttributeDef("location", "String")],
+    )
+    odb.new("Company", {"name": "GM", "location": "Detroit"})
+    odb.new("Company", {"name": "Ford", "location": "Dearborn"})
+
+    federation = Federation()
+    federation.register("relational", RelationalAdapter(engine))
+    federation.register("hierarchical", HierarchicalAdapter(hdb))
+    federation.register("objects", ObjectAdapter(odb, ["Company"]))
+    return federation
+
+
+class TestFederation:
+    def test_catalog_spans_sources(self, federation):
+        names = federation.class_names()
+        assert {"Employee", "Product", "ProductLine", "Company"} <= set(names)
+        assert federation.source_of("Employee") == "relational"
+        assert federation.source_of("Company") == "objects"
+
+    def test_duplicate_virtual_class_rejected(self, federation, hdb):
+        with pytest.raises(FederationError):
+            federation.register("again", HierarchicalAdapter(hdb))
+
+    def test_scan_each_source(self, federation):
+        assert len(list(federation.scan("Employee"))) == 2
+        assert len(list(federation.scan("Product"))) == 3
+        assert len(list(federation.scan("Company"))) == 2
+
+    def test_query_relational_source(self, federation):
+        rows = federation.query("SELECT e FROM Employee e WHERE e.company = 'GM'")
+        assert [r["name"] for r in rows] == ["alice"]
+
+    def test_query_hierarchical_with_parent_path(self, federation):
+        rows = federation.query(
+            "SELECT p FROM Product p WHERE p.parent_id.line = 'trucks'"
+        )
+        assert sorted(r["sku"] for r in rows) == ["T-100", "T-200"]
+
+    def test_query_object_source(self, federation):
+        rows = federation.query("SELECT c FROM Company c WHERE c.location = 'Detroit'")
+        assert [r["name"] for r in rows] == ["GM"]
+
+    def test_projection_and_order(self, federation):
+        rows = federation.query(
+            "SELECT p.sku FROM Product p ORDER BY p.price DESC LIMIT 2"
+        )
+        assert [r["sku"] for r in rows] == ["T-200", "T-100"]
+
+    def test_unknown_class_rejected(self, federation):
+        with pytest.raises(FederationError):
+            federation.query("SELECT x FROM Ghost x")
+
+    def test_boolean_operators(self, federation):
+        rows = federation.query(
+            "SELECT p FROM Product p WHERE p.price > 20 AND NOT p.sku = 'C-1'"
+        )
+        assert sorted(r["sku"] for r in rows) == ["T-100", "T-200"]
+
+
+class TestOsql:
+    def test_translation_shape(self):
+        translated = translate_sql(
+            "SELECT name, weight FROM Vehicle WHERE weight > 7500 "
+            "ORDER BY weight DESC LIMIT 3"
+        )
+        assert translated.oql == (
+            "SELECT x.name, x.weight FROM Vehicle x WHERE x.weight > 7500 "
+            "ORDER BY x.weight DESC LIMIT 3"
+        )
+
+    def test_star_translation(self):
+        assert translate_sql("SELECT * FROM Vehicle").oql == "SELECT x FROM Vehicle x"
+
+    def test_only_mode_preserves_sql_semantics(self):
+        assert "FROM ONLY Vehicle" in translate_sql("SELECT * FROM Vehicle", only=True).oql
+
+    def test_where_keywords_untouched(self):
+        translated = translate_sql(
+            "SELECT name FROM T WHERE a = 'x' AND NOT b = 3"
+        )
+        assert "x.a" in translated.oql and "x.b" in translated.oql
+        assert "x.NOT" not in translated.oql and "x.AND" not in translated.oql
+
+    def test_dotted_columns_become_paths(self):
+        translated = translate_sql(
+            "SELECT name FROM Vehicle WHERE manufacturer.location = 'Detroit'"
+        )
+        assert "x.manufacturer.location" in translated.oql
+
+    def test_bad_sql_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            translate_sql("DELETE FROM Vehicle")
+
+    def test_run_osql_against_object_database(self):
+        db = Database()
+        db.define_class(
+            "Customer",
+            attributes=[AttributeDef("name", "String"), AttributeDef("age", "Integer")],
+        )
+        db.new("Customer", {"name": "ann", "age": 30})
+        db.new("Customer", {"name": "bob", "age": 40})
+        rows = run_osql(db, "SELECT name FROM Customer WHERE age > 35")
+        assert rows == [{"name": "bob"}]
+        handles = run_osql(db, "SELECT * FROM Customer")
+        assert len(handles) == 2
+
+    def test_same_sql_runs_on_both_engines(self):
+        # The migration-path promise: identical SQL text against the
+        # relational engine (via federation) and the OODB.
+        sql = "SELECT name FROM Customer WHERE age > 35"
+        db = Database()
+        db.define_class(
+            "Customer",
+            attributes=[AttributeDef("name", "String"), AttributeDef("age", "Integer")],
+        )
+        db.new("Customer", {"name": "bob", "age": 40})
+        oo_rows = run_osql(db, sql)
+
+        engine = RelationalEngine()
+        engine.create_table("Customer", [("name", "str"), ("age", "int")])
+        engine.insert("Customer", {"name": "bob", "age": 40})
+        federation = Federation()
+        federation.register("rel", RelationalAdapter(engine))
+        translated = translate_sql(sql)
+        rel_rows = federation.query(translated.oql)
+        assert [r["name"] for r in rel_rows] == [r["name"] for r in oo_rows] == ["bob"]

@@ -1,0 +1,222 @@
+"""Property-based tests (hypothesis) on core data structures."""
+
+import string
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.inheritance import c3_linearize
+from repro.core.obj import ObjectState
+from repro.core.oid import OID
+from repro.index.btree import BTree, normalize_key
+from repro.query.paths import compare
+from repro.storage.page import SlottedPage
+from repro.storage.serializer import decode_object, encode_object
+
+# ----------------------------------------------------------------------
+# value strategies
+# ----------------------------------------------------------------------
+
+scalar_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 62), max_value=2 ** 62),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+    st.builds(OID, st.integers(min_value=0, max_value=2 ** 40)),
+)
+
+storable_values = st.one_of(
+    scalar_values,
+    st.lists(scalar_values, max_size=5),
+    st.lists(st.lists(scalar_values, max_size=3), max_size=3),
+)
+
+attr_names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+
+
+class TestSerializerProperties:
+    @given(
+        oid_value=st.integers(min_value=0, max_value=2 ** 40),
+        class_name=st.text(alphabet=string.ascii_letters, min_size=1, max_size=12),
+        values=st.dictionaries(attr_names, storable_values, max_size=8),
+    )
+    @settings(max_examples=100, suppress_health_check=[HealthCheck.too_slow])
+    def test_roundtrip_identity(self, oid_value, class_name, values):
+        state = ObjectState(OID(oid_value), class_name, values)
+        decoded = decode_object(encode_object(state))
+        assert decoded.oid == state.oid
+        assert decoded.class_name == class_name
+        assert decoded.values == values
+
+    @given(values=st.dictionaries(attr_names, storable_values, max_size=6))
+    @settings(max_examples=50)
+    def test_encoding_deterministic(self, values):
+        state = ObjectState(OID(1), "A", values)
+        assert encode_object(state) == encode_object(state)
+
+
+index_keys = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-1000, max_value=1000),
+    st.floats(allow_nan=False, allow_infinity=False, min_value=-1e6, max_value=1e6),
+    st.text(max_size=10),
+)
+
+
+class TestBTreeProperties:
+    @given(keys=st.lists(index_keys, max_size=200))
+    @settings(max_examples=100)
+    def test_insert_then_search_finds_all(self, keys):
+        tree = BTree(order=8)
+        for position, key in enumerate(keys):
+            tree.insert(key, "A", OID(position + 1))
+        tree.check_invariants()
+        for position, key in enumerate(keys):
+            assert ("A", OID(position + 1)) in tree.search(key)
+
+    @given(
+        keys=st.lists(st.integers(min_value=0, max_value=100), max_size=150),
+        to_remove=st.sets(st.integers(min_value=0, max_value=149), max_size=80),
+    )
+    @settings(max_examples=100)
+    def test_removal_leaves_exactly_the_rest(self, keys, to_remove):
+        tree = BTree(order=6)
+        for position, key in enumerate(keys):
+            tree.insert(key, "A", OID(position + 1))
+        for position in sorted(to_remove):
+            if position < len(keys):
+                assert tree.remove(keys[position], "A", OID(position + 1))
+        tree.check_invariants()
+        surviving = {
+            position
+            for position in range(len(keys))
+            if position not in to_remove
+        }
+        assert len(tree) == len(surviving)
+        for position in surviving:
+            assert ("A", OID(position + 1)) in tree.search(keys[position])
+
+    @given(keys=st.lists(st.integers(min_value=-500, max_value=500), max_size=150))
+    @settings(max_examples=100)
+    def test_range_scan_is_sorted_and_complete(self, keys):
+        tree = BTree(order=8)
+        for position, key in enumerate(keys):
+            tree.insert(key, "A", OID(position + 1))
+        scanned = [key for key, _entries in tree.range()]
+        assert scanned == sorted(set(keys))
+
+    @given(
+        keys=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=100),
+        low=st.integers(min_value=0, max_value=100),
+        high=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=100)
+    def test_bounded_range_matches_filter(self, keys, low, high):
+        tree = BTree(order=8)
+        for position, key in enumerate(keys):
+            tree.insert(key, "A", OID(position + 1))
+        scanned = [key for key, _entries in tree.range(low, high)]
+        expected = sorted({k for k in keys if low <= k <= high})
+        assert scanned == expected
+
+
+class TestNormalizeKeyProperties:
+    @given(a=index_keys, b=index_keys)
+    @settings(max_examples=200)
+    def test_total_order_antisymmetry(self, a, b):
+        ka, kb = normalize_key(a), normalize_key(b)
+        assert (ka < kb) + (kb < ka) + (ka == kb) == 1
+
+    @given(a=index_keys, b=index_keys, c=index_keys)
+    @settings(max_examples=200)
+    def test_transitivity(self, a, b, c):
+        ka, kb, kc = sorted([normalize_key(a), normalize_key(b), normalize_key(c)])
+        assert ka <= kb <= kc
+        assert ka <= kc
+
+
+class TestPageProperties:
+    @given(records=st.lists(st.binary(min_size=1, max_size=60), max_size=30))
+    @settings(max_examples=100)
+    def test_roundtrip_preserves_live_records(self, records):
+        page = SlottedPage.empty(4096)
+        slots = [page.insert(record) for record in records]
+        loaded = SlottedPage.from_bytes(page.to_bytes())
+        for slot, record in zip(slots, records):
+            assert loaded.read(slot) == record
+
+    @given(
+        records=st.lists(st.binary(min_size=1, max_size=60), min_size=1, max_size=30),
+        delete_mask=st.lists(st.booleans(), min_size=1, max_size=30),
+    )
+    @settings(max_examples=100)
+    def test_delete_subset_roundtrip(self, records, delete_mask):
+        page = SlottedPage.empty(4096)
+        slots = [page.insert(record) for record in records]
+        kept = []
+        for position, slot in enumerate(slots):
+            if position < len(delete_mask) and delete_mask[position]:
+                page.delete(slot)
+            else:
+                kept.append((slot, records[position]))
+        loaded = SlottedPage.from_bytes(page.to_bytes())
+        assert list(loaded.records()) == kept
+
+
+class TestCompareProperties:
+    @given(a=index_keys)
+    @settings(max_examples=100)
+    def test_equality_reflexive(self, a):
+        if a is not None:
+            assert compare("=", a, a)
+
+    @given(a=index_keys, b=index_keys)
+    @settings(max_examples=200)
+    def test_eq_and_ne_are_complements(self, a, b):
+        assert compare("=", a, b) != compare("!=", a, b)
+
+
+class TestC3Properties:
+    @given(data=st.data())
+    @settings(max_examples=60)
+    def test_linearization_starts_with_class_and_contains_ancestors(self, data):
+        # Build a random DAG layer by layer (parents only from earlier layers).
+        layer_count = data.draw(st.integers(min_value=1, max_value=4))
+        names = []
+        graph = {}
+        counter = 0
+        for layer in range(layer_count):
+            width = data.draw(st.integers(min_value=1, max_value=3))
+            layer_names = []
+            for _ in range(width):
+                name = "C%d" % counter
+                counter += 1
+                if names:
+                    parent_pool = st.sets(
+                        st.sampled_from(names), min_size=0, max_size=min(3, len(names))
+                    )
+                    parents = sorted(data.draw(parent_pool))
+                else:
+                    parents = []
+                graph[name] = parents
+                layer_names.append(name)
+            names.extend(layer_names)
+        for name in names:
+            try:
+                mro = c3_linearize(name, lambda n: graph.get(n, []))
+            except Exception:
+                continue  # inconsistent precedence orders are allowed to fail
+            assert mro[0] == name
+            # Every transitive ancestor appears exactly once.
+            ancestors = set()
+            stack = list(graph.get(name, []))
+            while stack:
+                ancestor = stack.pop()
+                if ancestor not in ancestors:
+                    ancestors.add(ancestor)
+                    stack.extend(graph.get(ancestor, []))
+            assert set(mro) == {name} | ancestors
+            assert len(mro) == len(set(mro))

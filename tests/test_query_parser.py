@@ -1,0 +1,187 @@
+"""OQL parsing."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.query.ast import (
+    AdtPredicate,
+    And,
+    Comparison,
+    MethodCall,
+    Not,
+    Or,
+    Path,
+)
+from repro.query.parser import parse_query
+
+
+class TestBasics:
+    def test_minimal_query(self):
+        query = parse_query("SELECT v FROM Vehicle v")
+        assert query.target_class == "Vehicle"
+        assert query.variable == "v"
+        assert query.where is None
+        assert query.hierarchy
+        assert query.projections is None
+
+    def test_only_scope(self):
+        assert not parse_query("SELECT v FROM ONLY Vehicle v").hierarchy
+
+    def test_case_insensitive_keywords(self):
+        query = parse_query("select v from only Vehicle v where v.weight > 1")
+        assert not query.hierarchy
+        assert isinstance(query.where, Comparison)
+
+    def test_star_select(self):
+        assert parse_query("SELECT * FROM Vehicle v").projections is None
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SELECT v FROM Vehicle v garbage")
+
+    def test_unexpected_character(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SELECT v FROM Vehicle v WHERE v.x # 3")
+
+
+class TestPredicates:
+    def test_comparison_ops(self):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            query = parse_query("SELECT v FROM V v WHERE v.x %s 5" % op)
+            assert query.where.op == op
+
+    def test_ne_alias(self):
+        assert parse_query("SELECT v FROM V v WHERE v.x <> 5").where.op == "!="
+
+    def test_string_literals(self):
+        query = parse_query("SELECT v FROM V v WHERE v.name = 'Detroit'")
+        assert query.where.const.value == "Detroit"
+        query = parse_query('SELECT v FROM V v WHERE v.name = "Motor City"')
+        assert query.where.const.value == "Motor City"
+
+    def test_numeric_literals(self):
+        assert parse_query("SELECT v FROM V v WHERE v.x = -3").where.const.value == -3
+        assert parse_query("SELECT v FROM V v WHERE v.x = 2.5").where.const.value == 2.5
+
+    def test_boolean_and_null_literals(self):
+        assert parse_query("SELECT v FROM V v WHERE v.x = true").where.const.value is True
+        assert parse_query("SELECT v FROM V v WHERE v.x = null").where.const.value is None
+
+    def test_nested_path(self):
+        query = parse_query(
+            "SELECT v FROM Vehicle v WHERE v.manufacturer.location = 'Detroit'"
+        )
+        assert query.where.path == Path(("manufacturer", "location"))
+
+    def test_like(self):
+        query = parse_query("SELECT v FROM V v WHERE v.name LIKE 'com%'")
+        assert query.where.op == "like"
+
+    def test_in_list(self):
+        query = parse_query("SELECT v FROM V v WHERE v.color IN ('red', 'blue')")
+        assert query.where.op == "in"
+        assert query.where.const.value == ["red", "blue"]
+
+    def test_contains(self):
+        query = parse_query("SELECT v FROM V v WHERE v.tags CONTAINS 'fast'")
+        assert query.where.op == "contains"
+
+    def test_list_literal(self):
+        query = parse_query("SELECT v FROM V v WHERE v.x IN (1, 2)")
+        assert query.where.const.value == [1, 2]
+
+    def test_path_must_start_with_variable(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SELECT v FROM V v WHERE w.x = 1")
+
+
+class TestBooleanStructure:
+    def test_and(self):
+        query = parse_query("SELECT v FROM V v WHERE v.x = 1 AND v.y = 2")
+        assert isinstance(query.where, And)
+        assert len(query.where.operands) == 2
+
+    def test_or_precedence(self):
+        query = parse_query("SELECT v FROM V v WHERE v.x = 1 OR v.y = 2 AND v.z = 3")
+        assert isinstance(query.where, Or)
+        assert isinstance(query.where.operands[1], And)
+
+    def test_parentheses_override(self):
+        query = parse_query(
+            "SELECT v FROM V v WHERE (v.x = 1 OR v.y = 2) AND v.z = 3"
+        )
+        assert isinstance(query.where, And)
+        assert isinstance(query.where.operands[0], Or)
+
+    def test_not(self):
+        query = parse_query("SELECT v FROM V v WHERE NOT v.x = 1")
+        assert isinstance(query.where, Not)
+
+    def test_chained_and(self):
+        query = parse_query(
+            "SELECT v FROM V v WHERE v.a = 1 AND v.b = 2 AND v.c = 3"
+        )
+        assert len(query.where.operands) == 3
+
+
+class TestProjectionsOrderLimit:
+    def test_projection_paths(self):
+        query = parse_query("SELECT v.name, v.maker.location FROM V v")
+        assert query.projections == [Path(("name",)), Path(("maker", "location"))]
+
+    def test_projection_wrong_variable_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SELECT w.name FROM V v")
+
+    def test_order_by(self):
+        query = parse_query("SELECT v FROM V v ORDER BY v.weight DESC")
+        assert query.order_by == Path(("weight",))
+        assert query.descending
+
+    def test_order_by_asc_default(self):
+        query = parse_query("SELECT v FROM V v ORDER BY v.weight")
+        assert not query.descending
+
+    def test_limit(self):
+        assert parse_query("SELECT v FROM V v LIMIT 10").limit == 10
+
+    def test_full_clause_order(self):
+        query = parse_query(
+            "SELECT v.name FROM ONLY V v WHERE v.x > 1 ORDER BY v.name ASC LIMIT 5"
+        )
+        assert query.limit == 5 and not query.hierarchy
+
+
+class TestMethodAndAdtPredicates:
+    def test_method_call_on_target(self):
+        query = parse_query("SELECT v FROM V v WHERE v.age() > 10")
+        assert isinstance(query.where, MethodCall)
+        assert query.where.path is None
+        assert query.where.selector == "age"
+        assert query.where.op == ">"
+
+    def test_method_call_default_true(self):
+        query = parse_query("SELECT v FROM V v WHERE v.is_heavy()")
+        assert query.where.const.value is True
+        assert query.where.op == "="
+
+    def test_method_call_on_path(self):
+        query = parse_query("SELECT v FROM V v WHERE v.maker.founded_before(1950)")
+        assert query.where.path == Path(("maker",))
+        assert query.where.args == [1950]
+
+    def test_adt_predicate(self):
+        query = parse_query("SELECT c FROM Cell c WHERE overlaps(c.shape, [0, 0, 4, 4])")
+        assert isinstance(query.where, AdtPredicate)
+        assert query.where.name == "overlaps"
+        assert query.where.args == [0, 0, 4, 4]
+
+    def test_figure1_query_roundtrip(self):
+        query = parse_query(
+            "SELECT v FROM Vehicle v "
+            "WHERE v.weight > 7500 AND v.manufacturer.location = 'Detroit'"
+        )
+        assert isinstance(query.where, And)
+        first, second = query.where.operands
+        assert first.path == Path(("weight",)) and first.const.value == 7500
+        assert second.path == Path(("manufacturer", "location"))

@@ -1,0 +1,102 @@
+"""Rollback must restore every attached subsystem, not just storage."""
+
+import pytest
+
+from repro import AttributeDef, Database
+from repro.adt import attach as attach_adt
+from repro.adt import make_rect, register_rectangle_type, register_spatial_index
+from repro.composite import attach as attach_composites
+from repro.semantics import attach_temporal
+
+
+class TestSpatialGridAfterAbort:
+    @pytest.fixture
+    def sdb(self):
+        db = Database()
+        registry = attach_adt(db)
+        register_rectangle_type(registry)
+        db.define_class("Cell", attributes=[AttributeDef("shape", "Rectangle")])
+        register_spatial_index(registry, "Cell", "shape", cell_size=8)
+        return db
+
+    QUERY = "SELECT c FROM Cell c WHERE overlaps(c.shape, [0, 0, 10, 10])"
+
+    def test_aborted_insert_leaves_grid_clean(self, sdb):
+        txn = sdb.transaction()
+        sdb.new("Cell", {"shape": make_rect(1, 1, 3, 3)})
+        txn.abort()
+        assert sdb.select(self.QUERY) == []
+
+    def test_aborted_move_restores_old_cells(self, sdb):
+        cell = sdb.new("Cell", {"shape": make_rect(1, 1, 3, 3)})
+        txn = sdb.transaction()
+        sdb.update(cell.oid, {"shape": make_rect(100, 100, 103, 103)})
+        txn.abort()
+        assert [h.oid for h in sdb.select(self.QUERY)] == [cell.oid]
+        far = "SELECT c FROM Cell c WHERE overlaps(c.shape, [99, 99, 104, 104])"
+        assert sdb.select(far) == []
+
+    def test_aborted_delete_restores_grid_entry(self, sdb):
+        cell = sdb.new("Cell", {"shape": make_rect(1, 1, 3, 3)})
+        txn = sdb.transaction()
+        sdb.delete(cell.oid)
+        txn.abort()
+        assert [h.oid for h in sdb.select(self.QUERY)] == [cell.oid]
+
+
+class TestCompositeLinksAfterAbort:
+    @pytest.fixture
+    def cdb(self):
+        db = Database()
+        attach_composites(db)
+        db.define_class(
+            "Box",
+            attributes=[
+                AttributeDef(
+                    "items", "Box", multi=True, composite=True,
+                    exclusive=True, dependent=True,
+                ),
+            ],
+        )
+        return db
+
+    def test_aborted_reparenting_restores_links(self, cdb):
+        item = cdb.new("Box", {"items": []})
+        parent = cdb.new("Box", {"items": [item.oid]})
+        txn = cdb.transaction()
+        cdb.update(parent.oid, {"items": []})
+        other = cdb.new("Box", {"items": [item.oid]})
+        txn.abort()
+        assert not cdb.exists(other.oid)
+        assert cdb.composites.parents_of(item.oid) == [(parent.oid, "items")]
+        # Exclusivity is enforceable again against the restored owner.
+        from repro.errors import CompositeError
+
+        with pytest.raises(CompositeError):
+            cdb.new("Box", {"items": [item.oid]})
+
+    def test_aborted_cascade_delete_restores_parts(self, cdb):
+        item = cdb.new("Box", {"items": []})
+        parent = cdb.new("Box", {"items": [item.oid]})
+        txn = cdb.transaction()
+        cdb.delete(parent.oid)
+        assert not cdb.exists(item.oid)  # cascade ran inside the txn
+        txn.abort()
+        assert cdb.exists(parent.oid)
+        assert cdb.exists(item.oid)
+        assert cdb.composites.parents_of(item.oid) == [(parent.oid, "items")]
+
+
+class TestTemporalAfterAbort:
+    def test_compensations_recorded_in_history(self):
+        db = Database()
+        attach_temporal(db)
+        db.define_class("T", attributes=[AttributeDef("n", "Integer")])
+        obj = db.new("T", {"n": 1})
+        txn = db.transaction()
+        db.update(obj.oid, {"n": 2})
+        txn.abort()
+        history = db.temporal.history_of(obj.oid)
+        # write(1), write(2), compensating write(1).
+        assert [e.state.values["n"] for e in history] == [1, 2, 1]
+        assert db.temporal.value_as_of(obj.oid, "n", db.temporal.now) == 1

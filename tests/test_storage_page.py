@@ -1,0 +1,133 @@
+"""Slotted pages: insert/read/update/delete, serialization."""
+
+import pytest
+
+from repro.errors import PageFullError, StorageError
+from repro.storage.page import SlottedPage
+
+
+@pytest.fixture
+def page():
+    return SlottedPage.empty(512)
+
+
+class TestBasicOps:
+    def test_insert_read(self, page):
+        slot = page.insert(b"hello")
+        assert page.read(slot) == b"hello"
+
+    def test_slots_are_sequential(self, page):
+        assert [page.insert(b"x") for _ in range(3)] == [0, 1, 2]
+
+    def test_delete_then_read_fails(self, page):
+        slot = page.insert(b"x")
+        page.delete(slot)
+        with pytest.raises(StorageError):
+            page.read(slot)
+
+    def test_double_delete_fails(self, page):
+        slot = page.insert(b"x")
+        page.delete(slot)
+        with pytest.raises(StorageError):
+            page.delete(slot)
+
+    def test_deleted_slot_reused(self, page):
+        first = page.insert(b"aaa")
+        page.insert(b"bbb")
+        page.delete(first)
+        assert page.insert(b"ccc") == first
+
+    def test_update_in_place(self, page):
+        slot = page.insert(b"short")
+        page.update(slot, b"longer-record")
+        assert page.read(slot) == b"longer-record"
+
+    def test_update_deleted_slot_fails(self, page):
+        slot = page.insert(b"x")
+        page.delete(slot)
+        with pytest.raises(StorageError):
+            page.update(slot, b"y")
+
+    def test_slot_out_of_range(self, page):
+        with pytest.raises(StorageError):
+            page.read(5)
+
+    def test_records_iterates_live_only(self, page):
+        page.insert(b"a")
+        dead = page.insert(b"b")
+        page.insert(b"c")
+        page.delete(dead)
+        assert [(s, b) for s, b in page.records()] == [(0, b"a"), (2, b"c")]
+
+    def test_counts(self, page):
+        page.insert(b"a")
+        dead = page.insert(b"b")
+        page.delete(dead)
+        assert page.slot_count == 2
+        assert page.live_count == 1
+
+
+class TestSpaceManagement:
+    def test_page_full(self, page):
+        page.insert(b"x" * 400)
+        with pytest.raises(PageFullError):
+            page.insert(b"y" * 200)
+
+    def test_fits_accounts_for_slot_entry(self, page):
+        assert page.fits(b"x" * 100)
+        assert not page.fits(b"x" * 600)
+
+    def test_record_larger_than_page_rejected(self, page):
+        with pytest.raises(StorageError):
+            page.insert(b"x" * 1000)
+
+    def test_free_space_decreases(self, page):
+        before = page.free_space
+        page.insert(b"x" * 50)
+        assert page.free_space < before
+
+    def test_delete_frees_space(self, page):
+        slot = page.insert(b"x" * 100)
+        freed = page.free_space
+        page.delete(slot)
+        assert page.free_space > freed
+
+    def test_update_too_big_raises_page_full(self, page):
+        slot = page.insert(b"x" * 100)
+        page.insert(b"y" * 300)
+        with pytest.raises(PageFullError):
+            page.update(slot, b"z" * 250)
+
+
+class TestSerialization:
+    def test_roundtrip(self, page):
+        page.insert(b"alpha")
+        dead = page.insert(b"beta")
+        page.insert(b"gamma")
+        page.delete(dead)
+        loaded = SlottedPage.from_bytes(page.to_bytes())
+        assert list(loaded.records()) == list(page.records())
+        assert loaded.slot_count == page.slot_count
+
+    def test_serialized_size_is_page_size(self, page):
+        page.insert(b"data")
+        assert len(page.to_bytes()) == 512
+
+    def test_empty_page_roundtrip(self, page):
+        loaded = SlottedPage.from_bytes(page.to_bytes())
+        assert loaded.live_count == 0
+
+    def test_tombstones_survive_roundtrip(self, page):
+        slot = page.insert(b"x")
+        page.delete(slot)
+        loaded = SlottedPage.from_bytes(page.to_bytes())
+        assert loaded.slot_count == 1
+        assert loaded.live_count == 0
+        # Slot must be reusable after reload.
+        assert loaded.insert(b"y") == slot
+
+    def test_binary_payload_preserved(self, page):
+        payload = bytes(range(256)) * 1
+        slot = page.insert(payload[:200])
+        loaded = SlottedPage.from_bytes(page.to_bytes())
+        assert loaded.read(slot) == payload[:200]

@@ -1,0 +1,168 @@
+"""Database tools: schema browser and index advisor (Section 5.1)."""
+
+import pytest
+
+from repro import Database
+from repro.bench.schemas import build_vehicle_schema, populate_vehicles
+from repro.tools import (
+    IndexAdvisor,
+    aggregation_graph,
+    catalog_report,
+    class_tree,
+    describe_class,
+)
+from repro.views import attach as attach_views
+
+
+@pytest.fixture
+def tdb():
+    db = Database()
+    attach_views(db)
+    build_vehicle_schema(db)
+    populate_vehicles(db, n_vehicles=80, n_companies=8, seed=4)
+    return db
+
+
+class TestBrowser:
+    def test_class_tree_structure(self, tdb):
+        tree = class_tree(tdb)
+        lines = tree.splitlines()
+        assert lines[0].startswith("Object")
+        vehicle_line = next(l for l in lines if l.strip().startswith("Vehicle"))
+        truck_line = next(l for l in lines if l.strip().startswith("Truck"))
+        # Truck is indented one level deeper than Vehicle.
+        assert (len(truck_line) - len(truck_line.lstrip())) > (
+            len(vehicle_line) - len(vehicle_line.lstrip())
+        )
+
+    def test_class_tree_shows_extents(self, tdb):
+        assert "(20)" in class_tree(tdb)  # each vehicle class has 20 direct
+
+    def test_class_tree_subtree(self, tdb):
+        tree = class_tree(tdb, root="Vehicle")
+        assert "Company" not in tree
+        assert "Truck" in tree
+
+    def test_multiple_inheritance_marked(self, tdb):
+        tdb.define_class("Amphibian", superclasses=("Automobile", "Truck"))
+        tree = class_tree(tdb)
+        assert tree.count("Amphibian") == 2
+        assert "Amphibian *" in tree
+
+    def test_describe_class_provenance(self, tdb):
+        text = describe_class(tdb, "Truck")
+        assert "payload" in text
+        assert "[from Vehicle]" in text
+        assert "mro: Truck -> Vehicle -> Object" in text
+
+    def test_describe_composite_flags(self, tdb):
+        text = describe_class(tdb, "Vehicle")
+        assert "composite(exclusive, dependent)" in text
+
+    def test_describe_lists_indexes(self, tdb):
+        tdb.create_hierarchy_index("Vehicle", "weight")
+        assert "ch_Vehicle_weight" in describe_class(tdb, "Truck")
+
+    def test_aggregation_graph_cycles_cut(self, tdb):
+        tdb.define_class("Node2")
+        from repro import AttributeDef
+        from repro.evolution import SchemaEvolution
+
+        SchemaEvolution(tdb).add_attribute("Node2", AttributeDef("next", "Node2"))
+        graph = aggregation_graph(tdb, "Node2")
+        assert "(cycle)" in graph
+
+    def test_aggregation_graph_vehicle(self, tdb):
+        graph = aggregation_graph(tdb, "Vehicle")
+        assert "Vehicle.manufacturer -> Company" in graph
+        assert "Vehicle.drivetrain -> VehicleDrivetrain" in graph
+
+    def test_catalog_report(self, tdb):
+        tdb.create_hierarchy_index("Vehicle", "weight")
+        tdb.views.define_view("Heavy", "SELECT v FROM Vehicle v WHERE v.weight > 7500")
+        report = catalog_report(tdb)
+        assert "ch_Vehicle_weight" in report
+        assert "Heavy" in report
+        assert "objects:" in report
+
+
+class TestAdvisor:
+    def test_recommends_hierarchy_index(self, tdb):
+        advisor = IndexAdvisor(tdb)
+        for _ in range(3):
+            advisor.observe("SELECT v FROM Vehicle v WHERE v.weight > 7500")
+        recs = advisor.recommend()
+        assert len(recs) == 1
+        assert recs[0].kind == "class-hierarchy"
+        assert recs[0].path == ("weight",)
+
+    def test_recommends_nested_index_for_paths(self, tdb):
+        advisor = IndexAdvisor(tdb)
+        for _ in range(2):
+            advisor.observe(
+                "SELECT v FROM Vehicle v WHERE v.manufacturer.location = 'Detroit'"
+            )
+        recs = advisor.recommend()
+        assert recs[0].kind == "nested-attribute"
+        assert recs[0].path == ("manufacturer", "location")
+
+    def test_recommends_single_class_for_only_scope(self, tdb):
+        advisor = IndexAdvisor(tdb)
+        for _ in range(2):
+            advisor.observe("SELECT v FROM ONLY Vehicle v WHERE v.color = 'red'")
+        recs = advisor.recommend()
+        assert recs[0].kind == "single-class"
+
+    def test_existing_index_suppresses_recommendation(self, tdb):
+        tdb.create_hierarchy_index("Vehicle", "weight")
+        advisor = IndexAdvisor(tdb)
+        for _ in range(3):
+            advisor.observe("SELECT v FROM Vehicle v WHERE v.weight > 7500")
+        assert advisor.recommend() == []
+
+    def test_min_hits_threshold(self, tdb):
+        advisor = IndexAdvisor(tdb)
+        advisor.observe("SELECT v FROM Vehicle v WHERE v.weight > 7500")
+        assert advisor.recommend(min_hits=2) == []
+        assert len(advisor.recommend(min_hits=1)) == 1
+
+    def test_unsargable_predicates_ignored(self, tdb):
+        advisor = IndexAdvisor(tdb)
+        for _ in range(3):
+            advisor.observe("SELECT v FROM Vehicle v WHERE v.color LIKE 'r%'")
+        assert advisor.recommend() == []
+
+    def test_tiny_extents_ignored(self, tdb):
+        tdb.define_class("Rare")
+        from repro import AttributeDef
+        from repro.evolution import SchemaEvolution
+
+        SchemaEvolution(tdb).add_attribute("Rare", AttributeDef("n", "Integer"))
+        advisor = IndexAdvisor(tdb)
+        for _ in range(5):
+            advisor.observe("SELECT r FROM Rare r WHERE r.n = 1")
+        assert advisor.recommend() == []
+
+    def test_apply_creates_usable_index(self, tdb):
+        advisor = IndexAdvisor(tdb)
+        for _ in range(3):
+            advisor.observe("SELECT v FROM Vehicle v WHERE v.weight = 5000")
+        recs = advisor.recommend()
+        index = recs[0].apply(tdb)
+        plan = tdb.plan("SELECT v FROM Vehicle v WHERE v.weight = 5000")
+        assert index.name in plan.access.description
+
+    def test_view_queries_observed_through_rewrite(self, tdb):
+        tdb.views.define_view("Heavy", "SELECT v FROM Vehicle v WHERE v.weight > 7500")
+        advisor = IndexAdvisor(tdb)
+        for _ in range(3):
+            advisor.observe("SELECT h FROM Heavy h WHERE h.color = 'red'")
+        paths = {rec.path for rec in advisor.recommend()}
+        assert ("weight",) in paths or ("color",) in paths
+
+    def test_report_text(self, tdb):
+        advisor = IndexAdvisor(tdb)
+        assert "no index recommendations" in advisor.report()
+        for _ in range(3):
+            advisor.observe("SELECT v FROM Vehicle v WHERE v.weight > 7500")
+        assert "create_hierarchy_index" in advisor.report()
