@@ -5,12 +5,33 @@ prints a small table of the series it measured; EXPERIMENTS.md records
 the observed numbers against the paper's stated expectations.
 """
 
+import os
 import time
 
 import pytest
 
 from repro import Database
 from repro.bench.schemas import build_vehicle_schema, populate_vehicles
+from repro.obs import write_bench_artifact
+
+
+def emit_bench_artifact(name, data, db=None):
+    """Drop ``BENCH_<name>.json`` next to this suite via the obs exporter.
+
+    ``data`` is the benchmark's measured series; when ``db`` is given its
+    engine-internal metric snapshot (buffer faults, lock waits, WAL
+    flushes, index probes) rides along so perf PRs diff artifacts rather
+    than stdout tables.
+    """
+    path = write_bench_artifact(
+        name,
+        data,
+        registry=db.metrics if db is not None else None,
+        tracer=db.tracer if db is not None else None,
+        directory=os.path.dirname(os.path.abspath(__file__)),
+    )
+    print("bench artifact: %s" % path)
+    return path
 
 
 def timed(fn, *args, **kwargs):

@@ -6,7 +6,7 @@ extent scan and with the two index kinds Section 3.2 derives, all three
 producing identical answers.
 """
 
-from conftest import print_table, timed
+from conftest import emit_bench_artifact, print_table, timed
 
 from repro import Database
 from repro.bench.schemas import FIG1_QUERY, build_vehicle_schema, populate_vehicles
@@ -66,6 +66,18 @@ def test_fig1_access_path_comparison(vehicle_db_2k):
         "E1: Figure 1 query (%d matches over %d vehicles)" % (len(expected), db.count("Vehicle")),
         ("access path", "plan", "ms"),
         rows,
+    )
+    emit_bench_artifact(
+        "e1_fig1_query",
+        {
+            "matches": len(expected),
+            "vehicles": db.count("Vehicle"),
+            "series": [
+                {"access_path": label, "plan": plan, "ms": ms}
+                for label, plan, ms in rows
+            ],
+        },
+        db=db,
     )
     assert (
         [h.oid for h in scan_result]

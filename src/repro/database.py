@@ -23,6 +23,9 @@ from .core.oid import OID, OIDGenerator
 from .core.schema import Schema
 from .errors import ObjectNotFoundError, TransactionError
 from .index.manager import IndexManager
+from .obs.explain import ExplainResult, build_plan_tree
+from .obs.metrics import MetricsRegistry
+from .obs.tracing import Tracer
 from .query.ast import AdtPredicate, Query
 from .query.executor import Executor, ResultSet
 from .query.parser import parse_query
@@ -67,6 +70,7 @@ class DatabaseStats:
                 "committed": self._db.txns.committed_count,
                 "aborted": self._db.txns.aborted_count,
             },
+            "metrics": self._db.metrics.snapshot(),
         }
 
     def reset_io(self) -> None:
@@ -103,24 +107,43 @@ class Database:
         use_locks: bool = True,
         sync_on_commit: bool = True,
         recover_on_open: bool = True,
+        metrics_enabled: bool = True,
+        slow_op_threshold: Optional[float] = None,
     ) -> None:
         self.path = path
-        self.storage = StorageManager(path, page_size, buffer_capacity)
+        #: The database-wide observability registry: every subsystem's
+        #: counters (buffer.*, pager.*, wal.*, locks.*, index.*,
+        #: query.*) report here; ``db.metrics.snapshot()`` is the one
+        #: place to read them all.
+        self.metrics = MetricsRegistry(enabled=metrics_enabled)
+        self.tracer = Tracer(
+            capacity=512, slow_threshold=slow_op_threshold, registry=self.metrics
+        )
+        self.storage = StorageManager(path, page_size, buffer_capacity, self.metrics)
         self.schema = Schema()
-        self.locks = LockManager()
+        self.locks = LockManager(self.metrics)
         self.wal = WriteAheadLog(
-            path + ".wal" if path else None, sync_on_commit=sync_on_commit
+            path + ".wal" if path else None,
+            sync_on_commit=sync_on_commit,
+            registry=self.metrics,
         )
         self.txns = TransactionManager(self.wal, self.locks)
         self.clustering = clustering or NoClustering()
         self.use_locks = use_locks
         self._oids = OIDGenerator()
-        self.indexes = IndexManager(self.schema, self._scan_coerced, self._deref)
+        self.indexes = IndexManager(
+            self.schema, self._scan_coerced, self._deref, self.metrics
+        )
         self.planner = Planner(self.schema, self.indexes, self._extent_count)
         self._executor = Executor(
             self._deref, self._scan_coerced, self.send, self._adt_eval
         )
         self.stats = DatabaseStats(self)
+        self._m_parses = self.metrics.counter("query.parses")
+        self._m_plans = self.metrics.counter("query.plans")
+        self._m_executes = self.metrics.counter("query.executes")
+        self._m_query_rows = self.metrics.counter("query.rows")
+        self._m_query_seconds = self.metrics.histogram("query.seconds")
         #: True while a transaction rollback is replaying compensations;
         #: cascading side-effects (composite delete propagation) are
         #: suppressed — each mutation has its own compensation.
@@ -154,7 +177,7 @@ class Database:
             self.schema = Schema.from_dict(catalog)
             # Rewire everything that captured the old schema.
             self.indexes = IndexManager(
-                self.schema, self.storage.scan_class, self._deref
+                self.schema, self.storage.scan_class, self._deref, self.metrics
             )
             self.planner = Planner(self.schema, self.indexes, self._extent_count)
         if recover_on_open:
@@ -502,55 +525,73 @@ class Database:
         )
         return sum(self.storage.count_class(cls) for cls in classes)
 
-    def plan(self, query: Union[str, Query]) -> Plan:
+    def _parse(self, query: Union[str, Query]) -> Query:
         if isinstance(query, str):
-            query = parse_query(query)
-        return self.planner.plan(query)
+            with self.tracer.span("query.parse"):
+                query = parse_query(query)
+            self._m_parses.inc()
+        return query
+
+    def plan(self, query: Union[str, Query]) -> Plan:
+        query = self._parse(query)
+        with self.tracer.span("query.plan", target=query.target_class):
+            plan = self.planner.plan(query)
+        self._m_plans.inc()
+        return plan
 
     def execute(self, query: Union[str, Query]) -> ResultSet:
         """Plan and run a query, returning the full result set object."""
-        if isinstance(query, str):
-            query = parse_query(query)
-        # Authorization is checked against the *named* target: granting
-        # read on a view (and not its base class) is the paper's
-        # content-based authorization.
-        self._check_authz("read", query.target_class)
-        was_view = self.views is not None and self.views.is_view(query.target_class)
-        if self.views is not None:
-            query = self.views.rewrite(query)
-        plan = self.planner.plan(query)
-        current = self.txns.current
-        if current is not None:
-            for cls in plan.scope:
-                self._lock_class_scan(current, cls)
-        result = self._executor.execute(plan)
-        if self.authz is not None and not was_view:
-            # Per-object content filtering; view queries skip it because
-            # the right to the view *is* the content-based authorization.
-            result = self.authz.filter_result(result)
-        if self.mac is not None:
-            # Mandatory filtering applies to every result, views included
-            # (discretionary rights never override classification).
-            result = self.mac.filter_result(result)
+        result, _context = self._execute(query, analyze=False)
         return result
 
-    def explain_analyze(self, query: Union[str, Query]) -> str:
-        """EXPLAIN ANALYZE: the plan plus actual execution statistics.
+    def _execute(self, query: Union[str, Query], analyze: bool):
+        with self.tracer.span("query.execute"), self._m_query_seconds.time():
+            query = self._parse(query)
+            # Authorization is checked against the *named* target: granting
+            # read on a view (and not its base class) is the paper's
+            # content-based authorization.
+            self._check_authz("read", query.target_class)
+            was_view = self.views is not None and self.views.is_view(query.target_class)
+            if self.views is not None:
+                query = self.views.rewrite(query)
+            with self.tracer.span("query.plan", target=query.target_class):
+                plan = self.planner.plan(query)
+            self._m_plans.inc()
+            current = self.txns.current
+            if current is not None:
+                for cls in plan.scope:
+                    self._lock_class_scan(current, cls)
+            context = build_plan_tree(plan) if analyze else None
+            with self.tracer.span("query.run", access=plan.access.description):
+                result = self._executor.execute(plan, analyze=context)
+            if self.authz is not None and not was_view:
+                # Per-object content filtering; view queries skip it because
+                # the right to the view *is* the content-based authorization.
+                result = self.authz.filter_result(result)
+            if self.mac is not None:
+                # Mandatory filtering applies to every result, views included
+                # (discretionary rights never override classification).
+                result = self.mac.filter_result(result)
+            self._m_executes.inc()
+            self._m_query_rows.inc(len(result))
+            return result, context
 
-        Runs the query and reports estimated vs. observed work — the
-        feedback loop the optimizer experiments use to validate the cost
-        model (Section 2.2's "optimal plan" requirement made auditable).
+    def explain(self, query: Union[str, Query]) -> ExplainResult:
+        """EXPLAIN ANALYZE: run the query, return the annotated plan.
+
+        The result carries the per-node plan tree (rows produced,
+        elapsed time, index-vs-scan access path) as structured data
+        (``.tree``) and as a rendered string (``.render()`` / ``str()``)
+        — the Section 2.2 feedback loop between the optimizer's
+        estimates and observed work, made auditable.
         """
-        result = self.execute(query)
-        plan = result.plan
-        lines = [plan.explain(), "-- execution --"]
-        lines.append("objects examined: %d" % result.stats.examined)
-        lines.append("objects matched: %d" % result.stats.matched)
-        lines.append("index probes: %d" % result.stats.index_probes)
-        if plan.estimated_cost:
-            accuracy = result.stats.examined / plan.estimated_cost
-            lines.append("estimate accuracy: %.2fx (examined/estimated)" % accuracy)
-        return "\n".join(lines)
+        with self.tracer.span("query.explain"):
+            result, context = self._execute(query, analyze=True)
+        return ExplainResult(result.plan, context.root, result)
+
+    def explain_analyze(self, query: Union[str, Query]) -> str:
+        """Compatibility wrapper: the rendered form of :meth:`explain`."""
+        return self.explain(query).render()
 
     def select(self, query: Union[str, Query]) -> List[ObjectHandle]:
         """Convenience: run a query and return handles (no projections)."""

@@ -16,6 +16,7 @@ from ..core.obj import ObjectState
 from ..core.oid import OID
 from ..core.schema import Schema
 from ..errors import SchemaError
+from ..obs.metrics import MetricsRegistry
 from .base import Index
 from .class_hierarchy import ClassHierarchyIndex
 from .nested import Deref, NestedAttributeIndex
@@ -28,11 +29,18 @@ ScanClass = Callable[[str], Iterable[ObjectState]]
 class IndexManager:
     """Owns all secondary indexes of one database."""
 
-    def __init__(self, schema: Schema, scan_class: ScanClass, deref: Deref) -> None:
+    def __init__(
+        self,
+        schema: Schema,
+        scan_class: ScanClass,
+        deref: Deref,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.schema = schema
         self._scan_class = scan_class
         self._deref = deref
         self._indexes: Dict[str, Index] = {}
+        self._registry = registry
 
     # -- registry ------------------------------------------------------------
 
@@ -56,6 +64,8 @@ class IndexManager:
     def _register(self, index: Index) -> Index:
         if index.name in self._indexes:
             raise SchemaError("index %r already exists" % (index.name,))
+        if self._registry is not None:
+            index.bind_metrics(self._registry)
         self._indexes[index.name] = index
         self._build(index)
         return index

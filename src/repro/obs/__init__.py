@@ -1,0 +1,41 @@
+"""repro.obs — the unified observability subsystem.
+
+One registry of metrics per database (counters, gauges, fixed-bucket
+histograms), a span tracer with a bounded ring buffer and slow-op log,
+EXPLAIN ANALYZE plan annotation, and a JSON exporter for benchmark
+artifacts.  Every engine-internal count — buffer hits, lock waits, WAL
+flushes, index probes, swizzle faults, query phases — flows through
+here; the legacy per-component ``*Stats`` classes remain as thin views
+over registry instruments.
+"""
+
+from .explain import ExplainContext, ExplainResult, PlanNode, build_plan_tree
+from .export import export_json, observability_payload, write_bench_artifact
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+)
+from .tracing import SlowOp, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "ExplainContext",
+    "ExplainResult",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_INSTRUMENT",
+    "PlanNode",
+    "SlowOp",
+    "Span",
+    "Tracer",
+    "build_plan_tree",
+    "export_json",
+    "observability_payload",
+    "write_bench_artifact",
+]

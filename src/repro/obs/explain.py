@@ -1,0 +1,250 @@
+"""EXPLAIN ANALYZE: annotated plan trees with per-node actuals.
+
+The planner's :class:`~repro.query.planner.Plan` already records *what*
+it chose (access path, residual, cost estimate); this module turns that
+choice into a tree of :class:`PlanNode` pipeline stages, and the
+executor — when run in analyze mode — records per-node produced rows and
+elapsed time.  ``Database.explain(query)`` returns the
+:class:`ExplainResult`: structured data (``.tree``) for tools and a
+rendered string (``.render()``) for humans, closing the Section 2.2
+feedback loop between the optimizer's estimates and observed work.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class PlanNode:
+    """One pipeline stage of a plan, annotated with estimates + actuals."""
+
+    __slots__ = ("op", "detail", "estimated_rows", "actual_rows", "actual_seconds", "meta", "children")
+
+    def __init__(
+        self,
+        op: str,
+        detail: str = "",
+        estimated_rows: Optional[float] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.op = op
+        self.detail = detail
+        self.estimated_rows = estimated_rows
+        self.actual_rows: Optional[int] = None
+        self.actual_seconds: Optional[float] = None
+        self.meta = meta or {}
+        self.children: List["PlanNode"] = []
+
+    def add(self, child: "PlanNode") -> "PlanNode":
+        self.children.append(child)
+        return child
+
+    def annotate(self, rows: Optional[int] = None, seconds: Optional[float] = None) -> None:
+        if rows is not None:
+            self.actual_rows = (self.actual_rows or 0) + rows
+        if seconds is not None:
+            self.actual_seconds = (self.actual_seconds or 0.0) + seconds
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"op": self.op, "detail": self.detail}
+        if self.estimated_rows is not None:
+            out["estimated_rows"] = self.estimated_rows
+        if self.actual_rows is not None:
+            out["actual_rows"] = self.actual_rows
+        if self.actual_seconds is not None:
+            out["actual_seconds"] = self.actual_seconds
+        if self.meta:
+            out["meta"] = dict(self.meta)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def render(self, depth: int = 0) -> str:
+        parts = []
+        if self.estimated_rows is not None:
+            parts.append("est=%.1f" % self.estimated_rows)
+        if self.actual_rows is not None:
+            parts.append("rows=%d" % self.actual_rows)
+        if self.actual_seconds is not None:
+            parts.append("time=%.3fms" % (self.actual_seconds * 1e3))
+        parts.extend("%s=%s" % kv for kv in sorted(self.meta.items()))
+        annotation = " (%s)" % " ".join(parts) if parts else ""
+        prefix = "%s-> " % ("  " * depth) if depth else ""
+        detail = " [%s]" % self.detail if self.detail else ""
+        lines = ["%s%s%s%s" % (prefix, self.op, detail, annotation)]
+        lines.extend(child.render(depth + 1) for child in self.children)
+        return "\n".join(lines)
+
+    def find(self, op: str) -> Optional["PlanNode"]:
+        """First node with the given op, depth-first from this node."""
+        if self.op == op:
+            return self
+        for child in self.children:
+            found = child.find(op)
+            if found is not None:
+                return found
+        return None
+
+    def __repr__(self) -> str:
+        return "<PlanNode %s rows=%r>" % (self.op, self.actual_rows)
+
+
+def build_plan_tree(plan) -> "ExplainContext":
+    """Annotate a :class:`~repro.query.planner.Plan` as a PlanNode tree.
+
+    Imported lazily by the planner/executor so the query layer stays
+    importable without the obs package being loaded first.
+    """
+    from ..query.planner import (
+        AdtIndexProbe,
+        ExtentScan,
+        IndexEqProbe,
+        IndexInProbe,
+        IndexRangeProbe,
+    )
+
+    query = plan.query
+    root = PlanNode(
+        "query",
+        "%s%s" % (query.target_class, "" if query.hierarchy else " (ONLY)"),
+        estimated_rows=plan.estimated_cost,
+        meta={"scope": ",".join(sorted(plan.scope))},
+    )
+    nodes: Dict[str, PlanNode] = {"query": root}
+
+    access = plan.access
+    if isinstance(access, ExtentScan):
+        op, access_kind = "extent-scan", "scan"
+    elif isinstance(access, IndexEqProbe):
+        op, access_kind = "index-eq-probe", "index"
+    elif isinstance(access, IndexInProbe):
+        op, access_kind = "index-in-probe", "index"
+    elif isinstance(access, IndexRangeProbe):
+        op, access_kind = "index-range-probe", "index"
+    elif isinstance(access, AdtIndexProbe):
+        op, access_kind = "adt-index-probe", "index"
+    else:  # future access paths degrade gracefully
+        op, access_kind = type(access).__name__, "unknown"
+    nodes["access"] = root.add(
+        PlanNode(
+            op,
+            access.description,
+            estimated_rows=plan.estimated_cost,
+            meta={"access": access_kind},
+        )
+    )
+
+    if query.where is not None:
+        nodes["filter"] = root.add(PlanNode("filter", repr(query.where)))
+    if query.aggregates:
+        detail = ", ".join(a.label() for a in query.aggregates)
+        if query.group_by is not None:
+            detail += " group by %s" % query.group_by.dotted()
+        nodes["aggregate"] = root.add(PlanNode("aggregate", detail))
+    else:
+        if query.order_by is not None:
+            detail = "%s%s" % (
+                query.order_by.dotted(),
+                " desc" if query.descending else "",
+            )
+        else:
+            detail = "oid"
+        nodes["sort"] = root.add(PlanNode("sort", detail))
+        if query.limit is not None:
+            nodes["limit"] = root.add(PlanNode("limit", str(query.limit)))
+        if query.projections is not None:
+            detail = ", ".join(p.dotted() for p in query.projections)
+            nodes["project"] = root.add(PlanNode("project", detail))
+    return ExplainContext(root, nodes)
+
+
+class ExplainContext:
+    """Carries the PlanNode tree through an analyzed execution.
+
+    The executor calls :meth:`instrument` to wrap its candidate iterator
+    (per-``next`` timing + row counts), :meth:`timed` around whole
+    phases, and :meth:`annotate` for plain row counts — all no-ops for
+    nodes the plan does not have.
+    """
+
+    def __init__(self, root: PlanNode, nodes: Dict[str, PlanNode]) -> None:
+        self.root = root
+        self.nodes = nodes
+        self._clock = time.perf_counter
+
+    def node(self, key: str) -> Optional[PlanNode]:
+        return self.nodes.get(key)
+
+    def annotate(self, key: str, rows: Optional[int] = None, seconds: Optional[float] = None) -> None:
+        node = self.nodes.get(key)
+        if node is not None:
+            node.annotate(rows, seconds)
+
+    @contextmanager
+    def timed(self, key: str) -> Iterator[None]:
+        start = self._clock()
+        try:
+            yield
+        finally:
+            self.annotate(key, seconds=self._clock() - start)
+
+    def instrument(self, key: str, iterator: Iterator[Any]) -> Iterator[Any]:
+        """Count and time each item the wrapped iterator produces."""
+        node = self.nodes.get(key)
+        if node is None:
+            for item in iterator:
+                yield item
+            return
+        node.actual_rows = node.actual_rows or 0
+        node.actual_seconds = node.actual_seconds or 0.0
+        clock = self._clock
+        while True:
+            start = clock()
+            try:
+                item = next(iterator)
+            except StopIteration:
+                node.actual_seconds += clock() - start
+                return
+            node.actual_seconds += clock() - start
+            node.actual_rows += 1
+            yield item
+
+
+class ExplainResult:
+    """What ``Database.explain`` returns: tree + stats + rendering."""
+
+    def __init__(self, plan, root: PlanNode, result) -> None:
+        self.plan = plan
+        self.root = root
+        self.result = result
+
+    @property
+    def tree(self) -> Dict[str, Any]:
+        """The annotated plan as plain nested dicts (JSON-ready)."""
+        return self.root.to_dict()
+
+    def render(self) -> str:
+        stats = self.result.stats
+        lines = [self.plan.explain(), "-- execution --"]
+        lines.append("objects examined: %d" % stats.examined)
+        lines.append("objects matched: %d" % stats.matched)
+        lines.append("index probes: %d" % stats.index_probes)
+        if self.plan.estimated_cost:
+            lines.append(
+                "estimate accuracy: %.2fx (examined/estimated)"
+                % (stats.examined / self.plan.estimated_cost)
+            )
+        lines.append("-- plan --")
+        lines.append(self.root.render())
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def __repr__(self) -> str:
+        return "<ExplainResult %s rows=%r>" % (
+            self.plan.access.description,
+            self.root.actual_rows,
+        )

@@ -1,0 +1,65 @@
+"""JSON export of observability data.
+
+The benchmarks suite uses :func:`write_bench_artifact` to drop a
+``BENCH_<name>.json`` next to the run — engine-internal counters
+(buffer faults, lock waits, WAL flushes) alongside the measured series,
+so a perf PR can diff artifacts instead of eyeballing stdout tables.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, Optional
+
+from .metrics import MetricsRegistry
+from .tracing import Tracer
+
+
+def observability_payload(
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One JSON-ready dict of everything the obs layer knows."""
+    payload: Dict[str, Any] = {"generated_at": time.time()}
+    if registry is not None:
+        payload["metrics"] = registry.snapshot()
+    if tracer is not None:
+        payload["slow_ops"] = [op.to_dict() for op in tracer.slow_ops()]
+        payload["spans"] = [span.to_dict() for span in tracer.roots()]
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def export_json(
+    path: str,
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Write an observability payload to ``path``; returns the path."""
+    payload = observability_payload(registry, tracer, extra)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=repr)
+        handle.write("\n")
+    return path
+
+
+def write_bench_artifact(
+    name: str,
+    data: Dict[str, Any],
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+    directory: Optional[str] = None,
+) -> str:
+    """Emit ``BENCH_<name>.json`` for one benchmark run.
+
+    ``data`` is the benchmark's own series (rows, timings, parameters);
+    the engine's metric snapshot rides along under ``"metrics"``.
+    """
+    safe = "".join(ch if (ch.isalnum() or ch in "-_") else "_" for ch in name)
+    path = os.path.join(directory or os.getcwd(), "BENCH_%s.json" % safe)
+    return export_json(path, registry, tracer, extra={"bench": name, **data})

@@ -1,0 +1,254 @@
+"""Span-based tracing with a bounded ring buffer and a slow-operation log.
+
+``tracer.span("query.execute", target="Vehicle")`` times a block and
+records it as a node in a parent/child tree; nesting follows the runtime
+call stack (per thread).  Finished spans land in a fixed-size ring
+buffer so a long-lived database never grows without bound, and any span
+slower than the configured threshold is copied to the slow-op log — the
+first place to look when a workload degrades.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from collections import deque
+
+
+class Span:
+    """One timed operation; ``elapsed`` is None while still running."""
+
+    #: Children kept per span; beyond this they are counted, not stored,
+    #: so a pathological loop inside one span cannot exhaust memory.
+    MAX_CHILDREN = 128
+
+    __slots__ = (
+        "name",
+        "tags",
+        "start",
+        "elapsed",
+        "parent",
+        "children",
+        "dropped_children",
+        "depth",
+        "error",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        tags: Dict[str, Any],
+        start: float,
+        parent: Optional["Span"] = None,
+    ) -> None:
+        self.name = name
+        self.tags = tags
+        self.start = start
+        self.elapsed: Optional[float] = None
+        self.parent = parent
+        self.children: List["Span"] = []
+        self.dropped_children = 0
+        self.depth = 0 if parent is None else parent.depth + 1
+        self.error: Optional[str] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.elapsed is not None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "elapsed": self.elapsed,
+            "depth": self.depth,
+        }
+        if self.tags:
+            out["tags"] = dict(self.tags)
+        if self.error is not None:
+            out["error"] = self.error
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        if self.dropped_children:
+            out["dropped_children"] = self.dropped_children
+        return out
+
+    def render(self) -> str:
+        """Indented one-span-per-line view of this span's subtree."""
+        lines: List[str] = []
+        self._render_into(lines, self.depth)
+        return "\n".join(lines)
+
+    def _render_into(self, lines: List[str], base_depth: int) -> None:
+        elapsed = "%.3fms" % (self.elapsed * 1e3) if self.finished else "..."
+        tags = (
+            " {%s}" % ", ".join("%s=%r" % kv for kv in sorted(self.tags.items()))
+            if self.tags
+            else ""
+        )
+        error = " ERROR(%s)" % self.error if self.error else ""
+        lines.append(
+            "%s%s %s%s%s" % ("  " * (self.depth - base_depth), self.name, elapsed, tags, error)
+        )
+        for child in self.children:
+            child._render_into(lines, base_depth)
+        if self.dropped_children:
+            lines.append(
+                "%s... %d more children dropped"
+                % ("  " * (self.depth - base_depth + 1), self.dropped_children)
+            )
+
+    def __repr__(self) -> str:
+        status = "%.6fs" % self.elapsed if self.finished else "running"
+        return "<Span %s %s>" % (self.name, status)
+
+
+class SlowOp:
+    """One slow-log entry: a finished span that crossed the threshold."""
+
+    __slots__ = ("name", "elapsed", "threshold", "tags")
+
+    def __init__(self, name: str, elapsed: float, threshold: float, tags: Dict[str, Any]) -> None:
+        self.name = name
+        self.elapsed = elapsed
+        self.threshold = threshold
+        self.tags = tags
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "elapsed": self.elapsed,
+            "threshold": self.threshold,
+            "tags": dict(self.tags),
+        }
+
+    def __repr__(self) -> str:
+        return "<SlowOp %s %.3fms (threshold %.3fms)>" % (
+            self.name,
+            self.elapsed * 1e3,
+            self.threshold * 1e3,
+        )
+
+
+class Tracer:
+    """Per-database tracer.
+
+    Parameters
+    ----------
+    capacity:
+        Ring-buffer size for finished spans (oldest evicted first).
+    slow_threshold:
+        Seconds; a finished span at or above this is copied to the
+        slow-op log.  None disables the slow log.
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; when given,
+        the tracer maintains ``trace.spans`` and ``trace.slow_ops``
+        counters there.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        slow_threshold: Optional[float] = None,
+        slow_capacity: int = 128,
+        registry=None,
+        clock=time.perf_counter,
+    ) -> None:
+        self.capacity = capacity
+        self.slow_threshold = slow_threshold
+        self.enabled = True
+        self._clock = clock
+        self._buffer: "deque[Span]" = deque(maxlen=capacity)
+        self._slow: "deque[SlowOp]" = deque(maxlen=slow_capacity)
+        self._local = threading.local()
+        if registry is not None:
+            self._span_counter = registry.counter("trace.spans")
+            self._slow_counter = registry.counter("trace.slow_ops")
+        else:
+            from .metrics import NULL_INSTRUMENT
+
+            self._span_counter = NULL_INSTRUMENT
+            self._slow_counter = NULL_INSTRUMENT
+
+    # -- recording -----------------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    @property
+    def current(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, **tags: Any) -> Iterator[Optional[Span]]:
+        if not self.enabled:
+            yield None
+            return
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        span = Span(name, tags, self._clock(), parent)
+        if parent is not None:
+            if len(parent.children) < Span.MAX_CHILDREN:
+                parent.children.append(span)
+            else:
+                parent.dropped_children += 1
+        stack.append(span)
+        try:
+            yield span
+        except BaseException as exc:
+            span.error = type(exc).__name__
+            raise
+        finally:
+            span.elapsed = self._clock() - span.start
+            stack.pop()
+            self._buffer.append(span)
+            self._span_counter.inc()
+            if (
+                self.slow_threshold is not None
+                and span.elapsed >= self.slow_threshold
+            ):
+                self._slow.append(
+                    SlowOp(span.name, span.elapsed, self.slow_threshold, span.tags)
+                )
+                self._slow_counter.inc()
+
+    # -- reading -------------------------------------------------------------
+
+    def spans(self, name: Optional[str] = None) -> List[Span]:
+        """Finished spans, oldest first, optionally filtered by name."""
+        if name is None:
+            return list(self._buffer)
+        return [span for span in self._buffer if span.name == name]
+
+    def roots(self) -> List[Span]:
+        """Finished top-level spans (whole-operation trees)."""
+        return [span for span in self._buffer if span.parent is None]
+
+    def last(self, name: Optional[str] = None) -> Optional[Span]:
+        for span in reversed(self._buffer):
+            if name is None or span.name == name:
+                return span
+        return None
+
+    def slow_ops(self) -> List[SlowOp]:
+        return list(self._slow)
+
+    def reset(self) -> None:
+        self._buffer.clear()
+        self._slow.clear()
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __repr__(self) -> str:
+        return "<Tracer %d/%d spans, %d slow>" % (
+            len(self._buffer),
+            self.capacity,
+            len(self._slow),
+        )

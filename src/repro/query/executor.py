@@ -10,6 +10,7 @@ optimizer experiments.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
 
 from ..core.obj import ObjectState
@@ -62,6 +63,8 @@ class ResultSet:
         self.oids = oids
         self.rows = rows
         self.stats = stats
+        #: Annotated PlanNode root when executed under EXPLAIN ANALYZE.
+        self.analysis = None
 
     def __len__(self) -> int:
         return len(self.rows) if self.rows is not None else len(self.oids)
@@ -85,9 +88,18 @@ class Executor:
         self._send = send
         self._adt_eval = adt_eval
 
-    def execute(self, plan: Plan) -> ResultSet:
+    def execute(self, plan: Plan, analyze=None) -> ResultSet:
+        """Run a plan.  ``analyze`` is an optional
+        :class:`~repro.obs.explain.ExplainContext`; when given, each
+        pipeline stage records produced rows and elapsed time into the
+        context's PlanNode tree (EXPLAIN ANALYZE).
+        """
         stats = ExecutionStats()
+        started = time.perf_counter() if analyze is not None else 0.0
         candidates = self._candidates(plan, stats)
+        if analyze is not None:
+            candidates = analyze.instrument("access", candidates)
+            filter_started = time.perf_counter()
 
         matched: List[ObjectState] = []
         where = plan.query.where
@@ -102,28 +114,76 @@ class Executor:
             stats.matched += 1
             matched.append(state)
 
+        if analyze is not None:
+            # The loop interleaves candidate production and predicate
+            # checks; the filter's own cost is the loop minus the access
+            # time the instrumented iterator measured.
+            loop_seconds = time.perf_counter() - filter_started
+            access_node = analyze.node("access")
+            access_seconds = (
+                access_node.actual_seconds if access_node is not None else 0.0
+            ) or 0.0
+            analyze.annotate(
+                "filter",
+                rows=stats.matched,
+                seconds=max(0.0, loop_seconds - access_seconds),
+            )
+
         query = plan.query
         if query.aggregates:
-            rows = self._aggregate(query, matched)
-            return ResultSet(query, plan, [], rows, stats)
+            if analyze is not None:
+                with analyze.timed("aggregate"):
+                    rows = self._aggregate(query, matched)
+                analyze.annotate("aggregate", rows=len(rows))
+            else:
+                rows = self._aggregate(query, matched)
+            result = ResultSet(query, plan, [], rows, stats)
+            self._finish_analysis(analyze, result, started, len(rows))
+            return result
+
+        sort_started = time.perf_counter() if analyze is not None else 0.0
         if query.order_by is not None:
             matched = algebra.order_by(
                 matched, query.order_by.steps, self._deref, query.descending
             )
         else:
             matched.sort(key=lambda s: s.oid.value)
+        if analyze is not None:
+            analyze.annotate(
+                "sort", rows=len(matched), seconds=time.perf_counter() - sort_started
+            )
         if query.limit is not None:
             matched = matched[: query.limit]
+            if analyze is not None:
+                analyze.annotate("limit", rows=len(matched))
 
         oids = [state.oid for state in matched]
         rows: Optional[List[Dict[str, Any]]] = None
         if query.projections is not None:
-            rows = list(
-                algebra.project(
-                    matched, [p.steps for p in query.projections], self._deref
+            if analyze is not None:
+                with analyze.timed("project"):
+                    rows = list(
+                        algebra.project(
+                            matched, [p.steps for p in query.projections], self._deref
+                        )
+                    )
+                analyze.annotate("project", rows=len(rows))
+            else:
+                rows = list(
+                    algebra.project(
+                        matched, [p.steps for p in query.projections], self._deref
+                    )
                 )
-            )
-        return ResultSet(query, plan, oids, rows, stats)
+        result = ResultSet(query, plan, oids, rows, stats)
+        self._finish_analysis(analyze, result, started, len(result))
+        return result
+
+    @staticmethod
+    def _finish_analysis(analyze, result: ResultSet, started: float, rows: int) -> None:
+        if analyze is None:
+            return
+        analyze.annotate("query", rows=rows, seconds=time.perf_counter() - started)
+        result.analysis = analyze.root
 
     # -- aggregation ----------------------------------------------------------
 

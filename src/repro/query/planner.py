@@ -106,6 +106,16 @@ class Plan:
         self.estimated_cost = estimated_cost
         self.notes = notes or []
 
+    def tree(self):
+        """This plan as an (unexecuted) PlanNode pipeline.
+
+        Returns a fresh :class:`~repro.obs.explain.ExplainContext`; the
+        executor fills in per-node actuals when run in analyze mode.
+        """
+        from ..obs.explain import build_plan_tree
+
+        return build_plan_tree(self)
+
     def explain(self) -> str:
         lines = [
             "target: %s%s"

@@ -10,28 +10,68 @@ by the clustering and traversal experiments (E4, E6).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Iterator, Set
+from typing import Dict, Iterator, Optional, Set
 
 from ..errors import StorageError
+from ..obs.metrics import MetricsRegistry
 from .page import SlottedPage
 
 
 class BufferStats:
-    """Hit/fault counters for one buffer pool."""
+    """Hit/fault counters — a view over ``buffer.*`` registry metrics.
 
-    __slots__ = ("hits", "faults", "evictions", "flushes")
+    Also registers the derived ``buffer.hit_rate`` metric so a single
+    ``MetricsRegistry.snapshot()`` answers "how warm is the pool?"
+    without the hot path paying for a division per access.
+    """
 
-    def __init__(self) -> None:
-        self.hits = 0
-        self.faults = 0
-        self.evictions = 0
-        self.flushes = 0
+    __slots__ = ("_hits", "_faults", "_evictions", "_flushes")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        registry = registry if registry is not None else MetricsRegistry()
+        self._hits = registry.counter("buffer.hits")
+        self._faults = registry.counter("buffer.faults")
+        self._evictions = registry.counter("buffer.evictions")
+        self._flushes = registry.counter("buffer.flushes")
+        registry.derived("buffer.hit_rate", lambda: self.hit_rate)
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._hits.value = value
+
+    @property
+    def faults(self) -> int:
+        return self._faults.value
+
+    @faults.setter
+    def faults(self, value: int) -> None:
+        self._faults.value = value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
+
+    @evictions.setter
+    def evictions(self, value: int) -> None:
+        self._evictions.value = value
+
+    @property
+    def flushes(self) -> int:
+        return self._flushes.value
+
+    @flushes.setter
+    def flushes(self, value: int) -> None:
+        self._flushes.value = value
 
     def reset(self) -> None:
-        self.hits = 0
-        self.faults = 0
-        self.evictions = 0
-        self.flushes = 0
+        self._hits.reset()
+        self._faults.reset()
+        self._evictions.reset()
+        self._flushes.reset()
 
     @property
     def accesses(self) -> int:
@@ -54,14 +94,19 @@ class BufferStats:
 class BufferPool:
     """LRU buffer pool over a pager."""
 
-    def __init__(self, pager, capacity: int = 256) -> None:
+    def __init__(
+        self,
+        pager,
+        capacity: int = 256,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         if capacity < 1:
             raise StorageError("buffer capacity must be >= 1")
         self.pager = pager
         self.capacity = capacity
         self._frames: "OrderedDict[int, SlottedPage]" = OrderedDict()
         self._dirty: Set[int] = set()
-        self.stats = BufferStats()
+        self.stats = BufferStats(registry)
 
     @property
     def page_size(self) -> int:
@@ -78,9 +123,9 @@ class BufferPool:
         frame = self._frames.get(page_id)
         if frame is not None:
             self._frames.move_to_end(page_id)
-            self.stats.hits += 1
+            self.stats._hits.inc()
             return frame
-        self.stats.faults += 1
+        self.stats._faults.inc()
         frame = SlottedPage.from_bytes(self.pager.read_page(page_id))
         self._admit(page_id, frame)
         return frame
@@ -101,15 +146,15 @@ class BufferPool:
         if victim_id in self._dirty:
             self.pager.write_page(victim_id, victim.to_bytes())
             self._dirty.discard(victim_id)
-            self.stats.flushes += 1
-        self.stats.evictions += 1
+            self.stats._flushes.inc()
+        self.stats._evictions.inc()
 
     def flush_page(self, page_id: int) -> None:
         frame = self._frames.get(page_id)
         if frame is not None and page_id in self._dirty:
             self.pager.write_page(page_id, frame.to_bytes())
             self._dirty.discard(page_id)
-            self.stats.flushes += 1
+            self.stats._flushes.inc()
 
     def flush_all(self) -> None:
         for page_id in list(self._dirty):

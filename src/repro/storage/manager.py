@@ -22,6 +22,7 @@ from typing import Any, Dict, Iterator, List, Optional
 from ..core.obj import ObjectState
 from ..core.oid import OID
 from ..errors import ObjectNotFoundError, StorageError
+from ..obs.metrics import MetricsRegistry
 from .buffer import BufferPool
 from .directory import ObjectDirectory
 from .heap import RID, HeapFile
@@ -48,10 +49,11 @@ class StorageManager:
         path: Optional[str] = None,
         page_size: int = DEFAULT_PAGE_SIZE,
         buffer_capacity: int = 256,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.path = path
-        self.pager = open_pager(path, page_size)
-        self.buffer = BufferPool(self.pager, buffer_capacity)
+        self.pager = open_pager(path, page_size, registry)
+        self.buffer = BufferPool(self.pager, buffer_capacity, registry)
         self.directory = ObjectDirectory()
         self._heaps: Dict[str, HeapFile] = {}
         self._sticky_extra: Dict[str, Any] = {}

@@ -13,6 +13,7 @@ import os
 from typing import Dict, Optional
 
 from ..errors import StorageError
+from ..obs.metrics import MetricsRegistry
 
 #: Default page size.  4 KiB matches the historical systems the paper
 #: discusses and keeps fault counts meaningful at laptop scale.
@@ -20,19 +21,49 @@ DEFAULT_PAGE_SIZE = 4096
 
 
 class PagerStats:
-    """Physical I/O counters, reset-able per experiment phase."""
+    """Physical I/O counters — a view over ``pager.*`` registry metrics.
 
-    __slots__ = ("reads", "writes", "allocations")
+    A pager created without a registry gets a private one, so
+    directly-constructed pagers (tests) stay isolated while a pager
+    inside a database shares the database-wide registry.
+    """
 
-    def __init__(self) -> None:
-        self.reads = 0
-        self.writes = 0
-        self.allocations = 0
+    __slots__ = ("_reads", "_writes", "_allocations")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        registry = registry if registry is not None else MetricsRegistry()
+        self._reads = registry.counter("pager.reads")
+        self._writes = registry.counter("pager.writes")
+        self._allocations = registry.counter("pager.allocations")
+
+    @property
+    def reads(self) -> int:
+        return self._reads.value
+
+    @reads.setter
+    def reads(self, value: int) -> None:
+        self._reads.value = value
+
+    @property
+    def writes(self) -> int:
+        return self._writes.value
+
+    @writes.setter
+    def writes(self, value: int) -> None:
+        self._writes.value = value
+
+    @property
+    def allocations(self) -> int:
+        return self._allocations.value
+
+    @allocations.setter
+    def allocations(self, value: int) -> None:
+        self._allocations.value = value
 
     def reset(self) -> None:
-        self.reads = 0
-        self.writes = 0
-        self.allocations = 0
+        self._reads.reset()
+        self._writes.reset()
+        self._allocations.reset()
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -45,13 +76,17 @@ class PagerStats:
 class MemoryPager:
     """In-memory page store backing ephemeral databases."""
 
-    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+    def __init__(
+        self,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         if page_size < 128:
             raise StorageError("page size %d is too small" % page_size)
         self.page_size = page_size
         self._pages: Dict[int, bytes] = {}
         self._next_id = 0
-        self.stats = PagerStats()
+        self.stats = PagerStats(registry)
 
     @property
     def page_count(self) -> int:
@@ -61,7 +96,7 @@ class MemoryPager:
         page_id = self._next_id
         self._next_id += 1
         self._pages[page_id] = bytes(self.page_size)
-        self.stats.allocations += 1
+        self.stats._allocations.inc()
         return page_id
 
     def read_page(self, page_id: int) -> bytes:
@@ -69,7 +104,7 @@ class MemoryPager:
             data = self._pages[page_id]
         except KeyError:
             raise StorageError("page %d does not exist" % page_id) from None
-        self.stats.reads += 1
+        self.stats._reads.inc()
         return data
 
     def write_page(self, page_id: int, data: bytes) -> None:
@@ -81,7 +116,7 @@ class MemoryPager:
                 % (len(data), self.page_size)
             )
         self._pages[page_id] = bytes(data)
-        self.stats.writes += 1
+        self.stats._writes.inc()
 
     def sync(self) -> None:
         """No durability for memory pagers; present for interface parity."""
@@ -103,12 +138,17 @@ class FilePager:
     MAGIC = b"KIMDB1\x00\x00"
     HEADER_SIZE = 16
 
-    def __init__(self, path: str, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+    def __init__(
+        self,
+        path: str,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         if page_size < 128:
             raise StorageError("page size %d is too small" % page_size)
         self.path = path
         self.page_size = page_size
-        self.stats = PagerStats()
+        self.stats = PagerStats(registry)
         exists = os.path.exists(path) and os.path.getsize(path) >= self.HEADER_SIZE
         mode = "r+b" if exists else "w+b"
         self._file = open(path, mode)
@@ -150,7 +190,7 @@ class FilePager:
         self._next_id += 1
         self._file.seek(self._offset(page_id))
         self._file.write(bytes(self.page_size))
-        self.stats.allocations += 1
+        self.stats._allocations.inc()
         return page_id
 
     def read_page(self, page_id: int) -> bytes:
@@ -160,7 +200,7 @@ class FilePager:
         data = self._file.read(self.page_size)
         if len(data) != self.page_size:
             raise StorageError("short read on page %d of %s" % (page_id, self.path))
-        self.stats.reads += 1
+        self.stats._reads.inc()
         return data
 
     def write_page(self, page_id: int, data: bytes) -> None:
@@ -173,7 +213,7 @@ class FilePager:
             )
         self._file.seek(self._offset(page_id))
         self._file.write(data)
-        self.stats.writes += 1
+        self.stats._writes.inc()
 
     def sync(self) -> None:
         self._file.flush()
@@ -191,8 +231,12 @@ class FilePager:
             pass
 
 
-def open_pager(path: Optional[str], page_size: int = DEFAULT_PAGE_SIZE):
+def open_pager(
+    path: Optional[str],
+    page_size: int = DEFAULT_PAGE_SIZE,
+    registry: Optional[MetricsRegistry] = None,
+):
     """Factory: memory pager when ``path`` is None, file pager otherwise."""
     if path is None:
-        return MemoryPager(page_size)
-    return FilePager(path, page_size)
+        return MemoryPager(page_size, registry)
+    return FilePager(path, page_size, registry)

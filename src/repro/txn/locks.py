@@ -17,9 +17,11 @@ would close a cycle.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from ..errors import DeadlockError, LockTimeoutError, TransactionError
+from ..obs.metrics import MetricsRegistry
 
 #: Lock modes, weakest to strongest (SIX = shared + intention exclusive).
 IS, IX, S, SIX, X = "IS", "IX", "S", "SIX", "X"
@@ -79,25 +81,67 @@ def compatible(held: str, requested: str) -> bool:
 
 
 class LockStats:
-    __slots__ = ("acquisitions", "upgrades", "blocks", "deadlocks")
+    """Lock-table counters — a view over ``locks.*`` registry metrics.
 
-    def __init__(self) -> None:
-        self.acquisitions = 0
-        self.upgrades = 0
-        self.blocks = 0
-        self.deadlocks = 0
+    ``blocks`` counts waits (the registry name is ``locks.waits``); the
+    ``locks.wait_seconds`` histogram records how long each blocked
+    acquisition actually waited before being granted or giving up.
+    """
+
+    __slots__ = ("_acquisitions", "_upgrades", "_blocks", "_deadlocks", "wait_seconds")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        registry = registry if registry is not None else MetricsRegistry()
+        self._acquisitions = registry.counter("locks.acquisitions")
+        self._upgrades = registry.counter("locks.upgrades")
+        self._blocks = registry.counter("locks.waits")
+        self._deadlocks = registry.counter("locks.deadlocks")
+        self.wait_seconds = registry.histogram("locks.wait_seconds")
+
+    @property
+    def acquisitions(self) -> int:
+        return self._acquisitions.value
+
+    @acquisitions.setter
+    def acquisitions(self, value: int) -> None:
+        self._acquisitions.value = value
+
+    @property
+    def upgrades(self) -> int:
+        return self._upgrades.value
+
+    @upgrades.setter
+    def upgrades(self, value: int) -> None:
+        self._upgrades.value = value
+
+    @property
+    def blocks(self) -> int:
+        return self._blocks.value
+
+    @blocks.setter
+    def blocks(self, value: int) -> None:
+        self._blocks.value = value
+
+    @property
+    def deadlocks(self) -> int:
+        return self._deadlocks.value
+
+    @deadlocks.setter
+    def deadlocks(self, value: int) -> None:
+        self._deadlocks.value = value
 
     def reset(self) -> None:
-        self.acquisitions = 0
-        self.upgrades = 0
-        self.blocks = 0
-        self.deadlocks = 0
+        self._acquisitions.reset()
+        self._upgrades.reset()
+        self._blocks.reset()
+        self._deadlocks.reset()
+        self.wait_seconds.reset()
 
 
 class LockManager:
     """Mode-compatible, deadlock-detecting lock table."""
 
-    def __init__(self) -> None:
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self._mutex = threading.Lock()
         self._condition = threading.Condition(self._mutex)
         #: resource -> {txn_id: mode}
@@ -106,7 +150,7 @@ class LockManager:
         self._by_txn: Dict[int, Set[Resource]] = {}
         #: txn_id -> (resource, mode) it is currently waiting for
         self._waiting: Dict[int, Tuple[Resource, str]] = {}
-        self.stats = LockStats()
+        self.stats = LockStats(registry)
 
     # -- acquisition -----------------------------------------------------------
 
@@ -122,6 +166,7 @@ class LockManager:
             raise TransactionError("unknown lock mode %r" % (mode,))
         with self._condition:
             deadline = None
+            wait_started = None
             while True:
                 current = self._held.get(resource, {}).get(txn_id)
                 if current is not None:
@@ -131,30 +176,35 @@ class LockManager:
                 if self._grantable(txn_id, resource, mode):
                     holders = self._held.setdefault(resource, {})
                     if txn_id in holders:
-                        self.stats.upgrades += 1
+                        self.stats._upgrades.inc()
                     holders[txn_id] = mode
                     self._by_txn.setdefault(txn_id, set()).add(resource)
                     self._waiting.pop(txn_id, None)
-                    self.stats.acquisitions += 1
+                    self.stats._acquisitions.inc()
+                    if wait_started is not None:
+                        self.stats.wait_seconds.observe(time.monotonic() - wait_started)
                     return
                 # Must wait: record the edge, check for deadlock.
                 self._waiting[txn_id] = (resource, mode)
                 if self._creates_deadlock(txn_id):
                     self._waiting.pop(txn_id, None)
-                    self.stats.deadlocks += 1
+                    self.stats._deadlocks.inc()
+                    if wait_started is not None:
+                        self.stats.wait_seconds.observe(time.monotonic() - wait_started)
                     raise DeadlockError(
                         "transaction %d aborted: lock on %r would deadlock"
                         % (txn_id, resource)
                     )
-                self.stats.blocks += 1
+                self.stats._blocks.inc()
+                if wait_started is None:
+                    wait_started = time.monotonic()
                 if timeout is not None:
-                    import time
-
                     if deadline is None:
                         deadline = time.monotonic() + timeout
                     remaining = deadline - time.monotonic()
                     if remaining <= 0 or not self._condition.wait(remaining):
                         self._waiting.pop(txn_id, None)
+                        self.stats.wait_seconds.observe(time.monotonic() - wait_started)
                         raise LockTimeoutError(
                             "transaction %d timed out waiting for %r %s"
                             % (txn_id, resource, mode)

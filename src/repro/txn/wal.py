@@ -17,6 +17,7 @@ from typing import Iterator, List, Optional
 
 from ..core.obj import ObjectState
 from ..errors import RecoveryError
+from ..obs.metrics import MetricsRegistry
 from ..storage.serializer import decode_object, encode_object
 
 # Record types.
@@ -100,12 +101,25 @@ class WriteAheadLog:
     experiment E13 sweeps.
     """
 
-    def __init__(self, path: Optional[str] = None, sync_on_commit: bool = True) -> None:
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        sync_on_commit: bool = True,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.path = path
         self.sync_on_commit = sync_on_commit
         self._records: List[LogRecord] = []  # memory mode only
         self._next_lsn = 0
         self._file = None
+        registry = registry if registry is not None else MetricsRegistry()
+        self._appends = registry.counter("wal.appends")
+        #: A "flush" is the commit-time durability point: file flush for
+        #: durable logs, the COMMIT append itself for in-memory logs.
+        self._flushes = registry.counter("wal.flushes")
+        self._syncs = registry.counter("wal.syncs")
+        self._truncates = registry.counter("wal.truncates")
+        self._append_bytes = registry.counter("wal.append_bytes")
         if path is not None:
             self._file = open(path, "ab")
             # Count pre-existing records so LSNs keep increasing.  A
@@ -122,17 +136,23 @@ class WriteAheadLog:
     def append(self, record: LogRecord) -> int:
         record.lsn = self._next_lsn
         self._next_lsn += 1
+        self._appends.inc()
         if self._file is None:
             self._records.append(record)
+            if record.record_type == COMMIT:
+                self._flushes.inc()
         else:
             payload = record.payload()
             crc = zlib.crc32(payload + bytes([record.record_type]))
             frame = _FRAME.pack(crc, len(payload), record.record_type, record.txn_id)
             self._file.write(frame + payload)
+            self._append_bytes.inc(_FRAME.size + len(payload))
             if record.record_type == COMMIT:
                 self._file.flush()
+                self._flushes.inc()
                 if self.sync_on_commit:
                     os.fsync(self._file.fileno())
+                    self._syncs.inc()
         return record.lsn
 
     def log_begin(self, txn_id: int) -> None:
@@ -194,6 +214,7 @@ class WriteAheadLog:
 
     def truncate(self) -> None:
         """Discard the log (after a checkpoint made data pages durable)."""
+        self._truncates.inc()
         if self._file is None:
             self._records.clear()
             return

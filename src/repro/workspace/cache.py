@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set
 
 from ..core.oid import OID
 from ..errors import KimDBError
+from ..obs.metrics import MetricsRegistry
 from .swizzle import Fault, MemoryObject
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -32,13 +33,66 @@ _POLICIES = ("lazy", "eager", "none")
 
 
 class WorkspaceStats:
-    __slots__ = ("loads", "hits", "faults", "writebacks")
+    """Swizzle-cache counters — a view over ``workspace.*`` metrics.
 
-    def __init__(self) -> None:
-        self.loads = 0
-        self.hits = 0
-        self.faults = 0
-        self.writebacks = 0
+    Each workspace owns a private registry (``workspace.metrics``):
+    workspaces are per-application caches, and the E5 ablation compares
+    several of them over one database, so their counts must not mix in
+    the database-wide registry.
+    """
+
+    __slots__ = ("_loads", "_hits", "_faults", "_writebacks")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        registry = registry if registry is not None else MetricsRegistry()
+        self._loads = registry.counter("workspace.loads")
+        self._hits = registry.counter("workspace.hits")
+        self._faults = registry.counter("workspace.faults")
+        self._writebacks = registry.counter("workspace.writebacks")
+        registry.derived("workspace.hit_rate", lambda: self.hit_rate)
+
+    @property
+    def loads(self) -> int:
+        return self._loads.value
+
+    @loads.setter
+    def loads(self, value: int) -> None:
+        self._loads.value = value
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._hits.value = value
+
+    @property
+    def faults(self) -> int:
+        return self._faults.value
+
+    @faults.setter
+    def faults(self, value: int) -> None:
+        self._faults.value = value
+
+    @property
+    def writebacks(self) -> int:
+        return self._writebacks.value
+
+    @writebacks.setter
+    def writebacks(self, value: int) -> None:
+        self._writebacks.value = value
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.faults
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self._loads.reset()
+        self._hits.reset()
+        self._faults.reset()
+        self._writebacks.reset()
 
 
 class ObjectWorkspace:
@@ -53,7 +107,8 @@ class ObjectWorkspace:
         self.db = db
         self.policy = policy
         self._resident: Dict[OID, MemoryObject] = {}
-        self.stats = WorkspaceStats()
+        self.metrics = MetricsRegistry()
+        self.stats = WorkspaceStats(self.metrics)
 
     # -- loading ------------------------------------------------------------
 
@@ -72,7 +127,7 @@ class ObjectWorkspace:
         """
         resident = self._resident.get(oid)
         if resident is not None:
-            self.stats.hits += 1
+            self.stats._hits.inc()
             return resident
         memory_object = self._admit(oid)
         if self.policy == "eager":
@@ -84,9 +139,9 @@ class ObjectWorkspace:
         return memory_object
 
     def _admit(self, oid: OID) -> MemoryObject:
-        self.stats.faults += 1
+        self.stats._faults.inc()
         state = self.db.get_state(oid)
-        self.stats.loads += 1
+        self.stats._loads.inc()
         memory_object = MemoryObject(state.oid, state.class_name, dict(state.values), self)
         self._resident[oid] = memory_object
         if self.policy != "none":
@@ -163,7 +218,7 @@ class ObjectWorkspace:
             for memory_object in dirty:
                 self.db.update(memory_object.oid, memory_object.to_state_values())
                 memory_object.dirty = False
-                self.stats.writebacks += 1
+                self.stats._writebacks.inc()
         return len(dirty)
 
     def evict(self, oid: OID) -> None:
