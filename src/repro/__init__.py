@@ -34,6 +34,7 @@ Quickstart::
     )
 """
 
+from .analysis import Diagnostic, DiagnosticReport, SemanticAnalyzer
 from .core.attribute import AttributeDef
 from .core.klass import ClassDef
 from .core.method import MethodDef, method
@@ -41,7 +42,7 @@ from .core.obj import ObjectHandle, ObjectState
 from .core.oid import OID
 from .core.schema import Schema
 from .database import Database
-from .errors import KimDBError
+from .errors import KimDBError, QuerySyntaxError, SemanticError
 from .query.parser import parse_query
 
 __version__ = "1.0.0"
@@ -56,7 +57,12 @@ __all__ = [
     "OID",
     "Schema",
     "Database",
+    "Diagnostic",
+    "DiagnosticReport",
+    "SemanticAnalyzer",
     "KimDBError",
+    "QuerySyntaxError",
+    "SemanticError",
     "parse_query",
     "__version__",
 ]

@@ -105,6 +105,14 @@ class AdtRegistry:
             )
         self._providers.setdefault(op_name, []).append(provider)
 
+    def has_operation(self, op_name: str) -> bool:
+        """True when ``op_name`` names a registered ADT operation.
+
+        The semantic analyzer uses this to reject unknown ADT predicates
+        at compile time instead of at residual-evaluation time.
+        """
+        return op_name in self._operations
+
     # -- evaluation (residual predicates) ------------------------------------------
 
     def evaluate(self, predicate: AdtPredicate, state: ObjectState, deref: Deref) -> bool:

@@ -1,0 +1,49 @@
+"""Static analysis (compile-time correctness checking).
+
+Kim's paper (Section 2.2) observes that a declarative query model over a
+class DAG with nested attributes forces a new compile-time apparatus:
+queries must be validated against the aggregation and generalization
+hierarchies before an optimizer can pick access paths.  This package is
+that apparatus, with two front ends:
+
+``repro.analysis.semantic``
+    Type-checks parsed OQL ASTs against a live
+    :class:`~repro.core.schema.Schema` and emits structured
+    :class:`~repro.analysis.diagnostics.Diagnostic` records instead of
+    bare exceptions.  ``Database.check(query)`` exposes it; the query
+    pipeline runs it automatically before planning.
+
+``repro.analysis.lint``
+    Python-``ast`` lints over the engine's own source: lock-order
+    checking against a declared lattice, unreleased-resource detection,
+    cross-package privacy, mutable default arguments and bare excepts.
+    ``python -m repro.tools.lint src/repro --strict`` is the CI gate.
+"""
+
+from .diagnostics import (
+    ERROR,
+    INFO,
+    WARNING,
+    Diagnostic,
+    DiagnosticReport,
+    SourceSpan,
+)
+from .lint import LintConfig, Linter, Violation, lint_paths
+from .resolve import PathResolution, resolve_path
+from .semantic import SemanticAnalyzer
+
+__all__ = [
+    "Diagnostic",
+    "DiagnosticReport",
+    "SourceSpan",
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "PathResolution",
+    "resolve_path",
+    "SemanticAnalyzer",
+    "LintConfig",
+    "Linter",
+    "Violation",
+    "lint_paths",
+]

@@ -15,13 +15,15 @@ from __future__ import annotations
 import contextlib
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
 
+from .analysis.diagnostics import DiagnosticReport
+from .analysis.semantic import SemanticAnalyzer
 from .core.attribute import AttributeDef
 from .core.klass import ClassDef
 from .core.method import MethodDef
 from .core.obj import ObjectHandle, ObjectState
 from .core.oid import OID, OIDGenerator
 from .core.schema import Schema
-from .errors import ObjectNotFoundError, TransactionError
+from .errors import ObjectNotFoundError, SemanticError, TransactionError
 from .index.manager import IndexManager
 from .obs.explain import ExplainResult, build_plan_tree
 from .obs.metrics import MetricsRegistry
@@ -140,6 +142,7 @@ class Database:
         )
         self.stats = DatabaseStats(self)
         self._m_parses = self.metrics.counter("query.parses")
+        self._m_checks = self.metrics.counter("query.checks")
         self._m_plans = self.metrics.counter("query.plans")
         self._m_executes = self.metrics.counter("query.executes")
         self._m_query_rows = self.metrics.counter("query.rows")
@@ -532,10 +535,42 @@ class Database:
             self._m_parses.inc()
         return query
 
+    def check(self, query: Union[str, Query]) -> DiagnosticReport:
+        """Semantic analysis only: type-check without planning or running.
+
+        Returns the full :class:`~repro.analysis.diagnostics.DiagnosticReport`
+        (truthy when the query is well-typed).  The same analysis gates
+        :meth:`plan`, :meth:`execute` and :meth:`explain` — an ill-typed
+        query raises :class:`~repro.errors.SemanticError` before the
+        planner sees it.
+        """
+        source = query if isinstance(query, str) else None
+        parsed = self._parse(query)
+        if self.views is not None:
+            parsed = self.views.rewrite(parsed)
+        return self._analyze(parsed, source)
+
+    def _analyze(self, query: Query, source: Optional[str]) -> DiagnosticReport:
+        with self.tracer.span("query.check", target=query.target_class):
+            report = SemanticAnalyzer(self.schema, self.adt).check(
+                query, source=source
+            )
+        self._m_checks.inc()
+        return report
+
+    def _semantic_gate(self, query: Query, source: Optional[str]) -> DiagnosticReport:
+        """Fail fast: raise before planning when analysis found errors."""
+        report = self._analyze(query, source)
+        if not report.ok:
+            raise SemanticError(report.render(), report.diagnostics)
+        return report
+
     def plan(self, query: Union[str, Query]) -> Plan:
+        source = query if isinstance(query, str) else None
         query = self._parse(query)
+        report = self._semantic_gate(query, source)
         with self.tracer.span("query.plan", target=query.target_class):
-            plan = self.planner.plan(query)
+            plan = self.planner.plan(query, exclude_classes=report.pruned_classes)
         self._m_plans.inc()
         return plan
 
@@ -546,6 +581,7 @@ class Database:
 
     def _execute(self, query: Union[str, Query], analyze: bool):
         with self.tracer.span("query.execute"), self._m_query_seconds.time():
+            source = query if isinstance(query, str) else None
             query = self._parse(query)
             # Authorization is checked against the *named* target: granting
             # read on a view (and not its base class) is the paper's
@@ -554,14 +590,19 @@ class Database:
             was_view = self.views is not None and self.views.is_view(query.target_class)
             if self.views is not None:
                 query = self.views.rewrite(query)
+            report = self._semantic_gate(query, source)
             with self.tracer.span("query.plan", target=query.target_class):
-                plan = self.planner.plan(query)
+                plan = self.planner.plan(
+                    query, exclude_classes=report.pruned_classes
+                )
             self._m_plans.inc()
             current = self.txns.current
             if current is not None:
                 for cls in plan.scope:
                     self._lock_class_scan(current, cls)
             context = build_plan_tree(plan) if analyze else None
+            if context is not None:
+                context.report = report
             with self.tracer.span("query.run", access=plan.access.description):
                 result = self._executor.execute(plan, analyze=context)
             if self.authz is not None and not was_view:
@@ -587,7 +628,9 @@ class Database:
         """
         with self.tracer.span("query.explain"):
             result, context = self._execute(query, analyze=True)
-        return ExplainResult(result.plan, context.root, result)
+        return ExplainResult(
+            result.plan, context.root, result, diagnostics=context.report
+        )
 
     def explain_analyze(self, query: Union[str, Query]) -> str:
         """Compatibility wrapper: the rendered form of :meth:`explain`."""

@@ -57,8 +57,66 @@ class QueryError(KimDBError):
     """Malformed query (syntax or semantic error)."""
 
 
+def caret_snippet(source, pos, width=1):
+    """Render the offending line of ``source`` with a caret underneath.
+
+    ``pos`` is a character offset into ``source``; ``width`` is how many
+    characters the caret run should cover (at least one).  Used by both
+    the parser's syntax errors and the semantic analyzer's diagnostics so
+    every compile-time message points at its source text the same way.
+    """
+    line_start = source.rfind("\n", 0, pos) + 1
+    line_end = source.find("\n", pos)
+    if line_end == -1:
+        line_end = len(source)
+    column = pos - line_start
+    line = source[line_start:line_end]
+    carets = "^" * max(1, min(width, len(line) - column if line else 1))
+    return "%s\n%s%s" % (line, " " * column, carets)
+
+
+def source_position(source, pos):
+    """(line, column) of a character offset, both 1-based."""
+    line = source.count("\n", 0, pos) + 1
+    column = pos - (source.rfind("\n", 0, pos) + 1) + 1
+    return line, column
+
+
 class QuerySyntaxError(QueryError):
-    """The OQL text could not be parsed."""
+    """The OQL text could not be parsed.
+
+    When the parser knows where the problem is it passes ``source`` and
+    ``pos``; the rendered message then carries line/column information
+    and a caret line pointing at the offending token.
+    """
+
+    def __init__(self, message, source=None, pos=None, width=1):
+        self.pos = pos
+        self.source = source
+        self.line = None
+        self.column = None
+        if source is not None and pos is not None:
+            self.line, self.column = source_position(source, pos)
+            message = "%s (line %d, column %d)\n%s" % (
+                message,
+                self.line,
+                self.column,
+                caret_snippet(source, pos, width),
+            )
+        super().__init__(message)
+
+
+class SemanticError(QueryError):
+    """A query failed semantic analysis against the schema.
+
+    Carries the full list of :class:`~repro.analysis.diagnostics.Diagnostic`
+    records so callers can inspect individual findings (code, severity,
+    source span) instead of parsing the rendered message.
+    """
+
+    def __init__(self, message, diagnostics=()):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)
 
 
 class PlanningError(QueryError):

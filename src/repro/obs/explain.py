@@ -172,6 +172,9 @@ class ExplainContext:
     def __init__(self, root: PlanNode, nodes: Dict[str, PlanNode]) -> None:
         self.root = root
         self.nodes = nodes
+        #: Semantic-analysis report for the query, attached by Database
+        #: so EXPLAIN output can surface warnings and pruning facts.
+        self.report = None
         self._clock = time.perf_counter
 
     def node(self, key: str) -> Optional[PlanNode]:
@@ -215,10 +218,13 @@ class ExplainContext:
 class ExplainResult:
     """What ``Database.explain`` returns: tree + stats + rendering."""
 
-    def __init__(self, plan, root: PlanNode, result) -> None:
+    def __init__(self, plan, root: PlanNode, result, diagnostics=None) -> None:
         self.plan = plan
         self.root = root
         self.result = result
+        #: The :class:`~repro.analysis.diagnostics.DiagnosticReport` from
+        #: the semantic-analysis pass (None when analysis was skipped).
+        self.diagnostics = diagnostics
 
     @property
     def tree(self) -> Dict[str, Any]:
@@ -238,6 +244,9 @@ class ExplainResult:
             )
         lines.append("-- plan --")
         lines.append(self.root.render())
+        if self.diagnostics is not None and len(self.diagnostics):
+            lines.append("-- analysis --")
+            lines.append(self.diagnostics.render())
         return "\n".join(lines)
 
     def __str__(self) -> str:

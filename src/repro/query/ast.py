@@ -24,14 +24,20 @@ class Expr:
 
 
 class Path:
-    """An attribute path rooted at the query variable (``v.a.b.c``)."""
+    """An attribute path rooted at the query variable (``v.a.b.c``).
 
-    __slots__ = ("steps",)
+    ``span`` (set by the parser, None for hand-built ASTs) locates the
+    path in the query text as a half-open character range; equality and
+    hashing deliberately ignore it.
+    """
+
+    __slots__ = ("steps", "span")
 
     def __init__(self, steps: Sequence[str]) -> None:
         if not steps:
             raise QueryError("empty attribute path")
         self.steps: Tuple[str, ...] = tuple(steps)
+        self.span = None
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Path) and other.steps == self.steps
@@ -73,7 +79,7 @@ class Aggregate:
     per object (missing/None values are skipped, as in SQL).
     """
 
-    __slots__ = ("fn", "path")
+    __slots__ = ("fn", "path", "span")
 
     def __init__(self, fn: str, path: Optional["Path"]) -> None:
         fn = fn.lower()
@@ -83,6 +89,7 @@ class Aggregate:
             raise QueryError("%s() requires an attribute path" % fn.upper())
         self.fn = fn
         self.path = path
+        self.span = None
 
     def label(self) -> str:
         inner = self.path.dotted() if self.path is not None else "*"
@@ -95,7 +102,7 @@ class Aggregate:
 class Comparison(Expr):
     """``path op literal`` — the sargable predicate form."""
 
-    __slots__ = ("op", "path", "const")
+    __slots__ = ("op", "path", "const", "span")
 
     def __init__(self, op: str, path: Path, const: Const) -> None:
         if op not in COMPARISON_OPS:
@@ -105,6 +112,7 @@ class Comparison(Expr):
         self.op = op
         self.path = path
         self.const = const
+        self.span = None
 
     def __repr__(self) -> str:
         return "(%s %s %r)" % (self.path.dotted(), self.op, self.const.value)
@@ -118,7 +126,7 @@ class MethodCall(Expr):
     Never sargable (methods are opaque), always a residual filter.
     """
 
-    __slots__ = ("path", "selector", "args", "op", "const")
+    __slots__ = ("path", "selector", "args", "op", "const", "span")
 
     def __init__(
         self,
@@ -133,6 +141,7 @@ class MethodCall(Expr):
         self.args = list(args)
         self.op = op
         self.const = const if const is not None else Const(True)
+        self.span = None
 
     def __repr__(self) -> str:
         prefix = self.path.dotted() + "." if self.path else ""
@@ -153,11 +162,12 @@ class AdtPredicate(Expr):
     The planner consults the registry for a matching access method.
     """
 
-    __slots__ = ("name", "path", "args")
+    __slots__ = ("name", "path", "args", "span")
 
     def __init__(self, name: str, path: Path, args: Sequence[Any]) -> None:
         self.name = name
         self.path = path
+        self.span = None
         args = list(args)
         if len(args) == 1 and isinstance(args[0], (list, tuple)):
             # ``overlaps(r.shape, [0, 0, 4, 4])`` — a single list literal
@@ -252,6 +262,8 @@ class Query:
         #: Aggregate select items; when set, rows are group summaries.
         self.aggregates = aggregates
         self.group_by = group_by
+        #: Span of the target-class token in the source (parser-set).
+        self.span = None
 
     def __repr__(self) -> str:
         scope = self.target_class if self.hierarchy else "ONLY " + self.target_class

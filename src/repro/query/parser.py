@@ -19,6 +19,7 @@ from __future__ import annotations
 import re
 from typing import Any, List, Optional, Tuple
 
+from ..analysis.diagnostics import SourceSpan
 from ..errors import QuerySyntaxError
 from .ast import (
     AGGREGATE_FNS,
@@ -79,6 +80,10 @@ class _Token:
         self.text = text
         self.pos = pos
 
+    @property
+    def end(self) -> int:
+        return self.pos + len(self.text)
+
     def __repr__(self) -> str:
         return "%s(%r)" % (self.kind, self.text)
 
@@ -90,7 +95,9 @@ def _tokenize(text: str) -> List[_Token]:
         match = _TOKEN_RE.match(text, pos)
         if match is None:
             raise QuerySyntaxError(
-                "unexpected character %r at position %d" % (text[pos], pos)
+                "unexpected character %r at position %d" % (text[pos], pos),
+                source=text,
+                pos=pos,
             )
         kind = match.lastgroup or ""
         value = match.group()
@@ -112,6 +119,8 @@ class _Parser:
         self.index = 0
         self.variable: Optional[str] = None
         self._group_select_paths: List[Path] = []
+        #: Span of the most recently parsed dotted name.
+        self._dotted_span: Optional[SourceSpan] = None
 
     # -- token helpers ------------------------------------------------------
 
@@ -127,8 +136,11 @@ class _Parser:
         token = self._peek()
         if token.kind != kind or (text is not None and token.text != text):
             raise QuerySyntaxError(
-                "expected %s%s at position %d, found %r in %r"
-                % (kind, " %r" % text if text else "", token.pos, token.text, self.text)
+                "expected %s%s at position %d, found %r"
+                % (kind, " %r" % text if text else "", token.pos, token.text),
+                source=self.text,
+                pos=token.pos,
+                width=max(1, len(token.text)),
             )
         return self._advance()
 
@@ -138,6 +150,10 @@ class _Parser:
             return self._advance()
         return None
 
+    def _prev_end(self) -> int:
+        """End offset of the token just consumed (for span closing)."""
+        return self.tokens[self.index - 1].end
+
     # -- grammar ------------------------------------------------------------
 
     def parse(self) -> Query:
@@ -145,7 +161,8 @@ class _Parser:
         select_items = self._parse_select_list()
         self._expect("kw", "from")
         hierarchy = self._accept("kw", "only") is None
-        target = self._expect("name").text
+        target_token = self._expect("name")
+        target = target_token.text
         self.variable = self._expect("name").text
 
         projections, aggregates = self._resolve_select_items(select_items)
@@ -181,7 +198,7 @@ class _Parser:
                 raise QuerySyntaxError("LIMIT must be non-negative")
 
         self._expect("eof")
-        return Query(
+        query = Query(
             target_class=target,
             variable=self.variable,
             where=where,
@@ -193,6 +210,8 @@ class _Parser:
             aggregates=aggregates,
             group_by=group_by,
         )
+        query.span = SourceSpan(target_token.pos, target_token.end)
+        return query
 
     def _parse_select_list(self) -> List[tuple]:
         """Raw select items: ('path', dotted) or ('agg', fn, dotted|None).
@@ -216,54 +235,77 @@ class _Parser:
             self._expect("punct", "(")
             if self._accept("punct", "*"):
                 inner: Optional[List[str]] = None
+                inner_span = None
             else:
                 inner = self._parse_dotted()
+                inner_span = self._dotted_span
             self._expect("punct", ")")
-            return ("agg", fn, inner)
-        return ("path", self._parse_dotted())
+            return ("agg", fn, inner, SourceSpan(token.pos, self._prev_end()), inner_span)
+        parts = self._parse_dotted()
+        return ("path", parts, self._dotted_span)
 
     def _parse_dotted(self) -> List[str]:
+        start = self._peek().pos
         if self._accept("punct", "*"):
+            self._dotted_span = SourceSpan(start, self._prev_end())
             return ["*"]
         parts = [self._expect("name").text]
         while self._accept("punct", "."):
             parts.append(self._expect("name").text)
+        self._dotted_span = SourceSpan(start, self._prev_end())
         return parts
 
     def _resolve_select_items(self, items: List[tuple]):
         """Split raw select items into (projections, aggregates)."""
         aggregates = [item for item in items if item[0] == "agg"]
-        paths = [item[1] for item in items if item[0] == "path"]
+        paths = [(item[1], item[2]) for item in items if item[0] == "path"]
         if aggregates:
             resolved = []
-            for _tag, fn, inner in aggregates:
+            for _tag, fn, inner, span, inner_span in aggregates:
                 if inner is None or inner == [self.variable]:
-                    resolved.append(Aggregate(fn, None))
+                    aggregate = Aggregate(fn, None)
                 else:
-                    resolved.append(Aggregate(fn, self._to_path(inner)))
+                    aggregate = Aggregate(fn, self._to_path(inner, inner_span))
+                aggregate.span = span
+                resolved.append(aggregate)
             # Plain paths next to aggregates must match GROUP BY; checked
             # after the GROUP BY clause is parsed.
-            self._group_select_paths = [self._to_path(item) for item in paths]
+            self._group_select_paths = [
+                self._to_path(parts, span) for parts, span in paths
+            ]
             return None, resolved
         # "SELECT v" or "SELECT *" -> whole objects; otherwise projections.
-        if len(paths) == 1 and paths[0] in ([self.variable], ["*"]):
+        if len(paths) == 1 and paths[0][0] in ([self.variable], ["*"]):
             return None, None
         projections = []
-        for item in paths:
-            if item == ["*"]:
-                raise QuerySyntaxError("* cannot be combined with projections")
-            projections.append(self._to_path(item))
+        for parts, span in paths:
+            if parts == ["*"]:
+                raise QuerySyntaxError(
+                    "* cannot be combined with projections",
+                    source=self.text,
+                    pos=span.start if span else None,
+                )
+            projections.append(self._to_path(parts, span))
         return projections, None
 
-    def _to_path(self, item: List[str]) -> Path:
+    def _to_path(self, item: List[str], span: Optional[SourceSpan] = None) -> Path:
         if item[0] != self.variable:
             raise QuerySyntaxError(
                 "select item %r does not start with variable %r"
-                % (".".join(item), self.variable)
+                % (".".join(item), self.variable),
+                source=self.text,
+                pos=span.start if span else None,
+                width=len(span) if span else 1,
             )
         if len(item) == 1:
-            raise QuerySyntaxError("bare variable cannot appear in a projection list")
-        return Path(item[1:])
+            raise QuerySyntaxError(
+                "bare variable cannot appear in a projection list",
+                source=self.text,
+                pos=span.start if span else None,
+            )
+        path = Path(item[1:])
+        path.span = span
+        return path
 
     def _parse_or(self) -> Expr:
         operands = [self._parse_and()]
@@ -288,33 +330,58 @@ class _Parser:
 
     def _parse_path(self) -> Path:
         parts = self._parse_dotted()
+        span = self._dotted_span
         if parts[0] != self.variable:
             raise QuerySyntaxError(
                 "path %r does not start with variable %r"
-                % (".".join(parts), self.variable)
+                % (".".join(parts), self.variable),
+                source=self.text,
+                pos=span.start if span else None,
+                width=len(span) if span else 1,
             )
         if len(parts) == 1:
-            raise QuerySyntaxError("a path needs at least one attribute")
-        return Path(parts[1:])
+            raise QuerySyntaxError(
+                "a path needs at least one attribute",
+                source=self.text,
+                pos=span.start if span else None,
+            )
+        path = Path(parts[1:])
+        path.span = span
+        return path
 
     def _parse_predicate(self) -> Expr:
         token = self._peek()
         if token.kind != "name":
             raise QuerySyntaxError(
-                "expected a predicate at position %d, found %r" % (token.pos, token.text)
+                "expected a predicate at position %d, found %r"
+                % (token.pos, token.text),
+                source=self.text,
+                pos=token.pos,
+                width=max(1, len(token.text)),
             )
+        start = token.pos
         # ADT predicate: name '(' path, literals ')'
         if token.text != self.variable:
             return self._parse_adt_predicate()
         parts = self._parse_dotted()
+        path_span = self._dotted_span
         if self._accept("punct", "("):
-            return self._parse_method_call(parts)
+            call = self._parse_method_call(parts)
+            call.span = SourceSpan(start, self._prev_end())
+            return call
         if parts[0] != self.variable or len(parts) == 1:
             raise QuerySyntaxError(
-                "predicate path %r must start with %r" % (".".join(parts), self.variable)
+                "predicate path %r must start with %r"
+                % (".".join(parts), self.variable),
+                source=self.text,
+                pos=start,
+                width=len(path_span) if path_span else 1,
             )
         path = Path(parts[1:])
-        return self._parse_comparison_tail(path)
+        path.span = path_span
+        comparison = self._parse_comparison_tail(path)
+        comparison.span = SourceSpan(start, self._prev_end())
+        return comparison
 
     def _parse_comparison_tail(self, path: Path) -> Expr:
         if self._accept("kw", "like"):
@@ -353,14 +420,16 @@ class _Parser:
         return MethodCall(path, selector, args)
 
     def _parse_adt_predicate(self) -> Expr:
-        name = self._expect("name").text
+        name_token = self._expect("name")
         self._expect("punct", "(")
         path = self._parse_path()
         args: List[Any] = []
         while self._accept("punct", ","):
             args.append(self._parse_literal())
         self._expect("punct", ")")
-        return AdtPredicate(name, path, args)
+        predicate = AdtPredicate(name_token.text, path, args)
+        predicate.span = SourceSpan(name_token.pos, self._prev_end())
+        return predicate
 
     def _parse_literal(self) -> Any:
         token = self._peek()
@@ -387,7 +456,10 @@ class _Parser:
                 self._expect("punct", "]")
             return values
         raise QuerySyntaxError(
-            "expected a literal at position %d, found %r" % (token.pos, token.text)
+            "expected a literal at position %d, found %r" % (token.pos, token.text),
+            source=self.text,
+            pos=token.pos,
+            width=max(1, len(token.text)),
         )
 
 

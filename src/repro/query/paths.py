@@ -56,25 +56,20 @@ def evaluate_path(
 def validate_path(schema: Schema, target_class: str, steps: Sequence[str]) -> str:
     """Semantic check of a path against the schema.
 
-    Returns the domain class of the terminal attribute.  Each non-terminal
-    step must exist on the class reached so far and have a class domain;
-    ``Any``-typed steps are allowed but end static checking (dynamic
-    dispatch takes over at run time).
+    Returns the domain class of the terminal attribute.  Delegates to the
+    shared resolver in :mod:`repro.analysis.resolve` (the same walk the
+    semantic analyzer uses), raising :class:`~repro.errors.QueryError`
+    where the analyzer would emit a diagnostic.
     """
-    from ..core.primitives import ANY_CLASS
+    # Local import: repro.analysis.semantic imports repro.query.ast, so a
+    # module-level import here would tie the two packages into a knot.
+    from ..analysis.resolve import resolve_path
 
-    current = target_class
-    for step_no, attr_name in enumerate(steps):
-        if current == ANY_CLASS:
-            return ANY_CLASS
-        attr = schema.attributes(current).get(attr_name)
-        if attr is None:
-            raise QueryError(
-                "path %r: class %s has no attribute %r"
-                % (".".join(steps), current, attr_name)
-            )
-        current = attr.domain
-    return current
+    resolution = resolve_path(schema, target_class, steps)
+    if not resolution.ok:
+        raise QueryError("path %r: %s" % (".".join(steps), resolution.failure))
+    assert resolution.domain is not None
+    return resolution.domain
 
 
 def compare(op: str, candidate: Any, literal: Any) -> bool:

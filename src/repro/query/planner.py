@@ -160,8 +160,16 @@ class Planner:
 
     # -- public API --------------------------------------------------------
 
-    def plan(self, query: Query) -> Plan:
+    def plan(self, query: Query, exclude_classes: Sequence[str] = ()) -> Plan:
         scope = self._scope_of(query)
+        # Class-hierarchy pruning facts from semantic analysis: subclasses
+        # whose instances can never satisfy the predicate.  The target
+        # class itself is never pruned (the fact would mean an empty
+        # query, which still must plan and return no rows).
+        pruned = sorted(
+            scope.intersection(exclude_classes) - {query.target_class}
+        )
+        scope = scope - set(pruned)
         self._validate(query, scope)
         scan_cost = float(sum(self.extent_count(cls) for cls in scope))
 
@@ -178,6 +186,11 @@ class Planner:
                 best = (cost, access, residual)
 
         notes: List[str] = []
+        if pruned:
+            notes.append(
+                "analysis pruned %s from scope (predicate statically "
+                "unsatisfiable there)" % ", ".join(pruned)
+            )
         if best is not None and best[0] < scan_cost:
             cost, access, residual_list = best
             residual = _and_together(residual_list)

@@ -1,0 +1,76 @@
+"""Engine lint CLI: ``python -m repro.tools.lint src/repro --strict``.
+
+Runs the :mod:`repro.analysis.lint` rules (lock ordering, resource
+balance, cross-package privacy, mutable defaults, bare excepts) over the
+given files/directories and prints one line per violation::
+
+    src/repro/txn/locks.py:86:8: [lock-order] acquires '_mutex' ...
+
+Exit status: 0 when clean; with ``--strict``, 1 when any violation was
+found (CI runs strict so every violation is a hard gate failure).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..analysis.lint import ALL_RULES, LintConfig, engine_config, lint_paths
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.lint",
+        description="kimdb engine lints (lock order, resource balance, privacy).",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero when any violation is found (CI gate mode)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        choices=ALL_RULES,
+        metavar="RULE",
+        help="run only this rule (repeatable); default: all rules",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print known rules and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(rule)
+        return 0
+    if not args.paths:
+        parser.error("the following arguments are required: paths")
+
+    base = engine_config()
+    config = LintConfig(
+        lock_lattice=base.lock_lattice,
+        with_required=base.with_required,
+        acquire_pairs=base.acquire_pairs,
+        rules=args.rule if args.rule else None,
+    )
+    try:
+        violations = lint_paths(args.paths, config)
+    except OSError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(
+            "%d violation%s found." % (len(violations), "" if len(violations) == 1 else "s"),
+            file=sys.stderr,
+        )
+        return 1 if args.strict else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
