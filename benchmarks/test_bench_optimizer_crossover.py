@@ -9,7 +9,7 @@ whole extent, with the chosen plan tracking the faster strategy.
 """
 
 import pytest
-from conftest import print_table, timed
+from conftest import emit_bench_artifact, print_table, timed
 
 from repro import AttributeDef, Database
 from repro.bench.workloads import selectivity_values
@@ -59,6 +59,7 @@ def test_unselective_query_uses_scan(sweep_db, benchmark):
 
 def test_crossover_summary(sweep_db):
     rows = []
+    series = []
     saw_index = saw_scan = False
     for distinct in DISTINCTS:
         query = query_for(distinct)
@@ -93,11 +94,25 @@ def test_crossover_summary(sweep_db):
                 "yes" if t_chosen <= t_other * 1.5 else "NO",
             )
         )
+        series.append(
+            {
+                "distinct": distinct,
+                "selectivity": selectivity,
+                "chosen": "index" if chosen_is_index else "scan",
+                "chosen_ms": t_chosen * 1e3,
+                "forced_other_ms": t_other * 1e3,
+                "examined": result.stats.examined,
+                "matched": result.stats.matched,
+                "index_probes": result.stats.index_probes,
+                "operators": result.operator_stats(),
+            }
+        )
     print_table(
         "E7: plan choice across selectivities (N=%d)" % N,
         ("selectivity", "chosen", "chosen ms", "forced-other ms", "chose well"),
         rows,
     )
+    emit_bench_artifact("e7_crossover", {"n": N, "sweep": series}, db=sweep_db)
     assert saw_index and saw_scan, "sweep must cross the index/scan boundary"
     # The chosen plan should essentially never lose badly.
     assert all(row[4] == "yes" for row in rows)

@@ -22,12 +22,19 @@ hard gate over ``src/repro``:
 ``private-access``
     No ``_underscore`` attribute or name may be reached across
     ``repro.*`` subpackage boundaries; each subpackage's privates are
-    its own.
+    its own.  Some nested packages (see :data:`_NESTED_DOMAINS`, e.g.
+    ``repro.query.operators``) are privacy domains of their own,
+    distinct from their parent subpackage.
 ``mutable-default``
     No mutable display (list/dict/set literal or constructor call) as a
     parameter default.
 ``bare-except``
     No ``except:`` without an exception class.
+``operator-materialization``
+    Inside ``repro.query.operators`` no ``list(...)`` call may
+    materialize a stream: physical operators are pull pipelines, and an
+    eager ``list()`` defeats LIMIT early termination.  Intentional
+    pipeline breakers carry the pragma.
 
 A violation can be baselined in place with an inline pragma::
 
@@ -51,7 +58,12 @@ ALL_RULES = (
     "private-access",
     "mutable-default",
     "bare-except",
+    "operator-materialization",
 )
+
+#: Nested packages that are privacy domains of their own: files under
+#: them do not share privates with the parent subpackage.
+_NESTED_DOMAINS = ("query.operators",)
 
 _PRAGMA_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([a-z\-,\s]+)\])?")
 
@@ -177,6 +189,8 @@ class Linter:
             self._check_resources(tree, path, violations)
         if "private-access" in run and subpackage is not None:
             self._check_privacy(tree, path, subpackage, violations)
+        if "operator-materialization" in run and subpackage == "query.operators":
+            self._check_operator_materialization(tree, path, violations)
         return [v for v in violations if not _silenced(v, pragmas)]
 
     # -- simple rules ----------------------------------------------------
@@ -379,6 +393,34 @@ class Linter:
                         return True
         return False
 
+    # -- operator streaming discipline -----------------------------------
+
+    def _check_operator_materialization(self, tree, path, out) -> None:
+        """Flag ``list(...)`` calls inside the physical-operator package.
+
+        Operators are pull pipelines; an eager ``list()`` drains the
+        upstream and defeats LIMIT early termination.  A deliberate
+        pipeline breaker is annotated with
+        ``# lint: ignore[operator-materialization]``.
+        """
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "list"
+            ):
+                out.append(
+                    Violation(
+                        "operator-materialization",
+                        path,
+                        node.lineno,
+                        node.col_offset,
+                        "list(...) materializes the stream inside a physical "
+                        "operator; pull rows lazily, or mark a deliberate "
+                        "pipeline breaker with the pragma",
+                    )
+                )
+
     # -- cross-package privacy -------------------------------------------
 
     def _check_privacy(self, tree, path, subpackage, out) -> None:
@@ -489,32 +531,55 @@ def _names_in(expr) -> Set[str]:
     return {n.id for n in ast.walk(expr) if isinstance(n, ast.Name)}
 
 
-def _import_origin(node: ast.ImportFrom, subpackage: str) -> Optional[str]:
-    """Subpackage an ``from ... import`` pulls from, or None if external."""
-    module = node.module or ""
-    if node.level == 0:
-        if not module.startswith("repro"):
-            return None
-        parts = module.split(".")
-        return parts[1] if len(parts) > 1 else ""
-    if node.level == 1:
-        # from . / from .mod — same subpackage (or root for root modules).
-        return subpackage
-    # from .. / from ..pkg.mod — resolved against the repro root.
-    parts = module.split(".") if module else []
+def _domain_of(parts: Sequence[str]) -> str:
+    """Privacy domain for a dotted module path (parts under ``repro``).
+
+    The longest matching nested domain wins; otherwise the first
+    component is the domain ('' for repro-root modules).
+    """
+    dotted = ".".join(parts)
+    for domain in _NESTED_DOMAINS:
+        if dotted == domain or dotted.startswith(domain + "."):
+            return domain
     return parts[0] if parts else ""
 
 
+def _import_origin(node: ast.ImportFrom, subpackage: str) -> Optional[str]:
+    """Privacy domain a ``from ... import`` pulls from, or None if external.
+
+    Relative imports resolve against the importing file's own domain:
+    ``from .`` stays inside it, each extra leading dot climbs one
+    package, and the resulting module path maps through
+    :func:`_domain_of` (so ``from .operators`` inside ``repro.query``
+    lands in the nested ``query.operators`` domain, not ``query``).
+    """
+    module = node.module or ""
+    if node.level == 0:
+        if module != "repro" and not module.startswith("repro."):
+            return None
+        return _domain_of(module.split(".")[1:])
+    base = subpackage.split(".") if subpackage else []
+    climb = node.level - 1
+    if climb:
+        base = base[:-climb] if climb < len(base) else []
+    parts = base + (module.split(".") if module else [])
+    return _domain_of(parts)
+
+
 def _subpackage_of(path: str, package_root: Optional[str]) -> Optional[str]:
-    """First path component under ``repro`` ('' for root modules)."""
+    """Privacy domain of a file under ``repro`` ('' for root modules).
+
+    Normally the first path component; files inside a nested domain
+    (:data:`_NESTED_DOMAINS`) get its dotted name instead.
+    """
     normalized = path.replace(os.sep, "/")
     marker = "repro/"
     index = normalized.rfind(marker)
     if index == -1:
         return None
     rest = normalized[index + len(marker):]
-    parts = rest.split("/")
-    return parts[0] if len(parts) > 1 else ""
+    dirs = rest.split("/")[:-1]
+    return _domain_of(dirs)
 
 
 def lint_paths(

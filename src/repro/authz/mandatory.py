@@ -148,6 +148,12 @@ class MandatorySecurityManager:
                 )
             )
 
+    def read_allowed(self, oid: OID) -> bool:
+        """Per-object no-read-up decision for streaming paths."""
+        if self._subject is None:
+            return True  # MAC not activated for this session
+        return self.allowed("read", self.db.class_of(oid), oid)
+
     def filter_result(self, result: "ResultSet") -> "ResultSet":
         """Silently drop objects classified above the subject's clearance."""
         if self._subject is None:

@@ -226,6 +226,19 @@ class AuthorizationManager:
                 )
             )
 
+    def read_allowed(self, oid: OID) -> bool:
+        """Per-object read decision for streaming paths (``select_iter``).
+
+        Mirrors :meth:`filter_result`: no subject means nothing is
+        readable, the superuser role reads everything, otherwise the
+        grant/denial evaluation runs per object.
+        """
+        if self._subject is None:
+            return False
+        if self.SUPERUSER in self._role_closure(self._subject):
+            return True
+        return self.allowed("read", self.db.class_of(oid), oid)
+
     def filter_result(self, result: "ResultSet") -> "ResultSet":
         """Content filter: drop objects the subject may not read."""
         if self._subject is None:

@@ -23,9 +23,9 @@ from .core.method import MethodDef
 from .core.obj import ObjectHandle, ObjectState
 from .core.oid import OID, OIDGenerator
 from .core.schema import Schema
-from .errors import ObjectNotFoundError, SemanticError, TransactionError
+from .errors import ObjectNotFoundError, QueryError, SemanticError, TransactionError
 from .index.manager import IndexManager
-from .obs.explain import ExplainResult, build_plan_tree
+from .obs.explain import ExplainResult, operator_tree
 from .obs.metrics import MetricsRegistry
 from .obs.tracing import Tracer
 from .query.ast import AdtPredicate, Query
@@ -138,7 +138,8 @@ class Database:
         )
         self.planner = Planner(self.schema, self.indexes, self._extent_count)
         self._executor = Executor(
-            self._deref, self._scan_coerced, self.send, self._adt_eval
+            self._deref, self._scan_coerced, self.send, self._adt_eval,
+            metrics=self.metrics,
         )
         self.stats = DatabaseStats(self)
         self._m_parses = self.metrics.counter("query.parses")
@@ -576,35 +577,37 @@ class Database:
 
     def execute(self, query: Union[str, Query]) -> ResultSet:
         """Plan and run a query, returning the full result set object."""
-        result, _context = self._execute(query, analyze=False)
+        result, _report = self._execute(query, analyze=False)
         return result
+
+    def _prepare_query(self, query: Union[str, Query]):
+        """Shared front half of every query path: parse, authorize the
+        *named* target (granting read on a view and not its base class
+        is the paper's content-based authorization), rewrite views, run
+        the semantic gate, plan, and take the class scan locks."""
+        source = query if isinstance(query, str) else None
+        query = self._parse(query)
+        self._check_authz("read", query.target_class)
+        was_view = self.views is not None and self.views.is_view(query.target_class)
+        if self.views is not None:
+            query = self.views.rewrite(query)
+        report = self._semantic_gate(query, source)
+        with self.tracer.span("query.plan", target=query.target_class):
+            plan = self.planner.plan(query, exclude_classes=report.pruned_classes)
+        self._m_plans.inc()
+        current = self.txns.current
+        if current is not None:
+            for cls in plan.scope:
+                self._lock_class_scan(current, cls)
+        return query, plan, report, was_view
 
     def _execute(self, query: Union[str, Query], analyze: bool):
         with self.tracer.span("query.execute"), self._m_query_seconds.time():
-            source = query if isinstance(query, str) else None
-            query = self._parse(query)
-            # Authorization is checked against the *named* target: granting
-            # read on a view (and not its base class) is the paper's
-            # content-based authorization.
-            self._check_authz("read", query.target_class)
-            was_view = self.views is not None and self.views.is_view(query.target_class)
-            if self.views is not None:
-                query = self.views.rewrite(query)
-            report = self._semantic_gate(query, source)
-            with self.tracer.span("query.plan", target=query.target_class):
-                plan = self.planner.plan(
-                    query, exclude_classes=report.pruned_classes
-                )
-            self._m_plans.inc()
-            current = self.txns.current
-            if current is not None:
-                for cls in plan.scope:
-                    self._lock_class_scan(current, cls)
-            context = build_plan_tree(plan) if analyze else None
-            if context is not None:
-                context.report = report
+            query, plan, report, was_view = self._prepare_query(query)
             with self.tracer.span("query.run", access=plan.access.description):
-                result = self._executor.execute(plan, analyze=context)
+                result = self._executor.execute(plan, timed=analyze)
+            if analyze:
+                result.analysis = operator_tree(plan, result.pipeline)
             if self.authz is not None and not was_view:
                 # Per-object content filtering; view queries skip it because
                 # the right to the view *is* the content-based authorization.
@@ -615,21 +618,22 @@ class Database:
                 result = self.mac.filter_result(result)
             self._m_executes.inc()
             self._m_query_rows.inc(len(result))
-            return result, context
+            return result, report
 
     def explain(self, query: Union[str, Query]) -> ExplainResult:
         """EXPLAIN ANALYZE: run the query, return the annotated plan.
 
-        The result carries the per-node plan tree (rows produced,
-        elapsed time, index-vs-scan access path) as structured data
-        (``.tree``) and as a rendered string (``.render()`` / ``str()``)
-        — the Section 2.2 feedback loop between the optimizer's
-        estimates and observed work, made auditable.
+        The result carries the per-node plan tree (rows produced and
+        elapsed time read off the live operator counters, index-vs-scan
+        access path) as structured data (``.tree``) and as a rendered
+        string (``.render()`` / ``str()``) — the Section 2.2 feedback
+        loop between the optimizer's estimates and observed work, made
+        auditable.
         """
         with self.tracer.span("query.explain"):
-            result, context = self._execute(query, analyze=True)
+            result, report = self._execute(query, analyze=True)
         return ExplainResult(
-            result.plan, context.root, result, diagnostics=context.report
+            result.plan, result.analysis, result, diagnostics=report
         )
 
     def explain_analyze(self, query: Union[str, Query]) -> str:
@@ -640,6 +644,38 @@ class Database:
         """Convenience: run a query and return handles (no projections)."""
         result = self.execute(query)
         return [ObjectHandle(self, oid) for oid in result.oids]
+
+    def select_iter(self, query: Union[str, Query]) -> Iterator[ObjectHandle]:
+        """Stream query results as handles, one at a time.
+
+        The Volcano pipeline is pulled lazily: nothing is materialized,
+        and abandoning the iterator (or a LIMIT upstream) stops the
+        underlying scan early.  Aggregates and projections need the
+        materializing :meth:`execute` path and are rejected here.
+        Per-object authorization and mandatory filtering apply as the
+        rows stream past, exactly as :meth:`execute` filters its result.
+        """
+        prepared, plan, _report, was_view = self._prepare_query(query)
+        if prepared.aggregates:
+            raise QueryError("select_iter does not support aggregate queries")
+        if prepared.projections is not None:
+            raise QueryError("select_iter does not support projection queries")
+        pipeline = self._executor.pipeline(plan)
+        pipeline.open()
+        try:
+            for state in pipeline.rows():
+                oid = state.oid
+                if (
+                    self.authz is not None
+                    and not was_view
+                    and not self.authz.read_allowed(oid)
+                ):
+                    continue
+                if self.mac is not None and not self.mac.read_allowed(oid):
+                    continue
+                yield ObjectHandle(self, oid)
+        finally:
+            pipeline.close()
 
     # ------------------------------------------------------------------
     # transactions & workspaces

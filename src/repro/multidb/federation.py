@@ -26,6 +26,14 @@ from ..query.ast import (
     Or,
     Query,
 )
+from ..query.operators import (
+    FilterOp,
+    LimitOp,
+    PhysicalOperator,
+    ProjectOp,
+    SortOp,
+    VirtualScanOp,
+)
 from ..query.parser import parse_query
 from ..query.paths import compare
 from .hierarchical import HierarchicalDatabase
@@ -161,6 +169,53 @@ class ObjectAdapter(Adapter):
             yield row
 
 
+class FederationKernel:
+    """Row semantics for federated row dicts.
+
+    The physical operators (:mod:`repro.query.operators`) are row-type
+    agnostic; this kernel gives them predicate evaluation, ordering and
+    projection over plain dicts, navigating cross-source references via
+    the federation's catalog.  Ordering is a stable full sort — virtual
+    classes have no OID tiebreaker, so the top-K heap path (which
+    reorders ties) is deliberately not used.
+    """
+
+    __slots__ = ("federation", "class_name")
+
+    def __init__(self, federation: "Federation", class_name: str) -> None:
+        self.federation = federation
+        self.class_name = class_name
+
+    def row_class(self, row: Row) -> str:
+        return self.class_name
+
+    def matches(self, expr: Expr, row: Row) -> bool:
+        return self.federation._evaluate(self.class_name, row, expr)
+
+    def sort(
+        self,
+        rows: Iterator[Row],
+        steps: Optional[Tuple[str, ...]],
+        descending: bool,
+        limit: Optional[int] = None,
+    ) -> List[Row]:
+        if steps is None:
+            raise FederationError("federated queries have no default row order")
+
+        def sort_key(row: Row):
+            values = self.federation._path_values(self.class_name, row, steps)
+            return (0, values[0]) if values and values[0] is not None else (1, 0)
+
+        return sorted(rows, key=sort_key, reverse=descending)
+
+    def project_row(self, row: Row, paths: Iterable[Tuple[str, ...]]) -> Row:
+        out: Row = {}
+        for steps in paths:
+            values = self.federation._path_values(self.class_name, row, steps)
+            out[".".join(steps)] = values[0] if len(values) == 1 else (values or None)
+        return out
+
+
 class Federation:
     """The multidatabase: a registry of adapters + a federated executor."""
 
@@ -260,6 +315,28 @@ class Federation:
             "federated queries support comparisons and boolean operators only"
         )
 
+    def pipeline(self, query: Query) -> PhysicalOperator:
+        """Compile a federated query into a physical operator chain.
+
+        The same Volcano operators the local engine runs, parameterized
+        by :class:`FederationKernel` over row dicts: virtual scan,
+        filter, (stable) sort, limit, projection.  Hierarchy scope is
+        meaningless across sources and ignored.
+        """
+        self._entry(query.target_class)
+        kernel = FederationKernel(self, query.target_class)
+        root: PhysicalOperator = VirtualScanOp(self.scan, query.target_class)
+        root = FilterOp(root, kernel, None, query.where)
+        if query.order_by is not None:
+            root = SortOp(root, kernel, query.order_by.steps, query.descending)
+        if query.limit is not None:
+            root = LimitOp(root, query.limit)
+        if query.projections is not None:
+            root = ProjectOp(
+                root, kernel, [path.steps for path in query.projections]
+            )
+        return root
+
     def query(self, text_or_query) -> List[Row]:
         """Run a federated OQL query; returns row dicts.
 
@@ -271,31 +348,14 @@ class Federation:
             if isinstance(text_or_query, str)
             else text_or_query
         )
-        self._entry(query.target_class)
-        matched: List[Row] = []
-        for row in self.scan(query.target_class):
-            if query.where is None or self._evaluate(query.target_class, row, query.where):
-                matched.append(row)
-        if query.order_by is not None:
-            steps = query.order_by.steps
-
-            def sort_key(row: Row):
-                values = self._path_values(query.target_class, row, steps)
-                return (0, values[0]) if values and values[0] is not None else (1, 0)
-
-            matched.sort(key=sort_key, reverse=query.descending)
-        if query.limit is not None:
-            matched = matched[: query.limit]
-        if query.projections is not None:
-            projected = []
-            for row in matched:
-                out: Row = {}
-                for path in query.projections:
-                    values = self._path_values(query.target_class, row, path.steps)
-                    out[path.dotted()] = values[0] if len(values) == 1 else (values or None)
-                projected.append(out)
-            return projected
-        return matched
+        root = self.pipeline(query)
+        root.open()
+        try:
+            if query.projections is not None:
+                return [projected for _row, projected in root.rows()]
+            return [row for row in root.rows()]
+        finally:
+            root.close()
 
     def __repr__(self) -> str:
         return "<Federation %d sources, %d virtual classes>" % (

@@ -2,14 +2,15 @@
 
 One registry of metrics per database (counters, gauges, fixed-bucket
 histograms), a span tracer with a bounded ring buffer and slow-op log,
-EXPLAIN ANALYZE plan annotation, and a JSON exporter for benchmark
+EXPLAIN ANALYZE plan trees read off live operator counters, and a JSON
+exporter for benchmark
 artifacts.  Every engine-internal count — buffer hits, lock waits, WAL
 flushes, index probes, swizzle faults, query phases — flows through
 here; the legacy per-component ``*Stats`` classes remain as thin views
 over registry instruments.
 """
 
-from .explain import ExplainContext, ExplainResult, PlanNode, build_plan_tree
+from .explain import ExplainResult, PlanNode, operator_tree
 from .export import export_json, observability_payload, write_bench_artifact
 from .metrics import (
     DEFAULT_BUCKETS,
@@ -24,7 +25,6 @@ from .tracing import SlowOp, Span, Tracer
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
-    "ExplainContext",
     "ExplainResult",
     "Gauge",
     "Histogram",
@@ -34,8 +34,8 @@ __all__ = [
     "SlowOp",
     "Span",
     "Tracer",
-    "build_plan_tree",
     "export_json",
     "observability_payload",
+    "operator_tree",
     "write_bench_artifact",
 ]

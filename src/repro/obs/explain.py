@@ -1,20 +1,20 @@
-"""EXPLAIN ANALYZE: annotated plan trees with per-node actuals.
+"""EXPLAIN ANALYZE: plan trees annotated from live operator counters.
 
-The planner's :class:`~repro.query.planner.Plan` already records *what*
-it chose (access path, residual, cost estimate); this module turns that
-choice into a tree of :class:`PlanNode` pipeline stages, and the
-executor — when run in analyze mode — records per-node produced rows and
-elapsed time.  ``Database.explain(query)`` returns the
-:class:`ExplainResult`: structured data (``.tree``) for tools and a
-rendered string (``.render()``) for humans, closing the Section 2.2
-feedback loop between the optimizer's estimates and observed work.
+The planner's :class:`~repro.query.planner.Plan` records *what* it
+chose (access path, residual, cost estimate); a timed execution leaves
+actual row counts and wall-clock on the physical operators themselves
+(:mod:`repro.query.operators`).  :func:`operator_tree` reads those
+counters off the executed pipeline into a :class:`PlanNode` tree — no
+separate annotation pass instruments the run.  ``Database.explain(query)``
+returns the :class:`ExplainResult`: structured data (``.tree``) for
+tools and a rendered string (``.render()``) for humans, closing the
+Section 2.2 feedback loop between the optimizer's estimates and
+observed work.
 """
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, List, Optional
 
 
 class PlanNode:
@@ -91,17 +91,21 @@ class PlanNode:
         return "<PlanNode %s rows=%r>" % (self.op, self.actual_rows)
 
 
-def build_plan_tree(plan) -> "ExplainContext":
-    """Annotate a :class:`~repro.query.planner.Plan` as a PlanNode tree.
+def operator_tree(plan, pipeline) -> PlanNode:
+    """The executed pipeline's live counters as a PlanNode tree.
 
-    Imported lazily by the planner/executor so the query layer stays
-    importable without the obs package being loaded first.
+    Reads ``rows_out``/``elapsed`` straight off the physical operators
+    (the pipeline must have run, normally timed).  Per-node seconds are
+    *exclusive* — an operator's inclusive clock minus its input's — so
+    stages add up to the root's total.  Imported lazily where needed so
+    the query layer stays importable without obs loaded first.
     """
     from ..query.planner import (
         AdtIndexProbe,
         ExtentScan,
         IndexEqProbe,
         IndexInProbe,
+        IndexOrderScan,
         IndexRangeProbe,
     )
 
@@ -112,7 +116,7 @@ def build_plan_tree(plan) -> "ExplainContext":
         estimated_rows=plan.estimated_cost,
         meta={"scope": ",".join(sorted(plan.scope))},
     )
-    nodes: Dict[str, PlanNode] = {"query": root}
+    root.annotate(rows=pipeline.root.rows_out, seconds=pipeline.root.elapsed)
 
     access = plan.access
     if isinstance(access, ExtentScan):
@@ -125,9 +129,12 @@ def build_plan_tree(plan) -> "ExplainContext":
         op, access_kind = "index-range-probe", "index"
     elif isinstance(access, AdtIndexProbe):
         op, access_kind = "adt-index-probe", "index"
+    elif isinstance(access, IndexOrderScan):
+        op, access_kind = "index-order-scan", "index-order"
     else:  # future access paths degrade gracefully
         op, access_kind = type(access).__name__, "unknown"
-    nodes["access"] = root.add(
+    source = pipeline.source
+    access_node = root.add(
         PlanNode(
             op,
             access.description,
@@ -135,84 +142,29 @@ def build_plan_tree(plan) -> "ExplainContext":
             meta={"access": access_kind},
         )
     )
+    access_node.annotate(rows=source.rows_out, seconds=source.elapsed)
+    if pipeline.probe is not None:
+        access_node.meta["probe_rows"] = pipeline.probe.rows_out
 
-    if query.where is not None:
-        nodes["filter"] = root.add(PlanNode("filter", repr(query.where)))
-    if query.aggregates:
-        detail = ", ".join(a.label() for a in query.aggregates)
-        if query.group_by is not None:
-            detail += " group by %s" % query.group_by.dotted()
-        nodes["aggregate"] = root.add(PlanNode("aggregate", detail))
-    else:
-        if query.order_by is not None:
-            detail = "%s%s" % (
-                query.order_by.dotted(),
-                " desc" if query.descending else "",
-            )
-        else:
-            detail = "oid"
-        nodes["sort"] = root.add(PlanNode("sort", detail))
-        if query.limit is not None:
-            nodes["limit"] = root.add(PlanNode("limit", str(query.limit)))
-        if query.projections is not None:
-            detail = ", ".join(p.dotted() for p in query.projections)
-            nodes["project"] = root.add(PlanNode("project", detail))
-    return ExplainContext(root, nodes)
+    def stage(node_op: str, detail: str, operator) -> None:
+        node = root.add(PlanNode(node_op, detail))
+        upstream = operator.child.elapsed if operator.child is not None else 0.0
+        node.annotate(
+            rows=operator.rows_out,
+            seconds=max(0.0, operator.elapsed - upstream),
+        )
 
-
-class ExplainContext:
-    """Carries the PlanNode tree through an analyzed execution.
-
-    The executor calls :meth:`instrument` to wrap its candidate iterator
-    (per-``next`` timing + row counts), :meth:`timed` around whole
-    phases, and :meth:`annotate` for plain row counts — all no-ops for
-    nodes the plan does not have.
-    """
-
-    def __init__(self, root: PlanNode, nodes: Dict[str, PlanNode]) -> None:
-        self.root = root
-        self.nodes = nodes
-        #: Semantic-analysis report for the query, attached by Database
-        #: so EXPLAIN output can surface warnings and pruning facts.
-        self.report = None
-        self._clock = time.perf_counter
-
-    def node(self, key: str) -> Optional[PlanNode]:
-        return self.nodes.get(key)
-
-    def annotate(self, key: str, rows: Optional[int] = None, seconds: Optional[float] = None) -> None:
-        node = self.nodes.get(key)
-        if node is not None:
-            node.annotate(rows, seconds)
-
-    @contextmanager
-    def timed(self, key: str) -> Iterator[None]:
-        start = self._clock()
-        try:
-            yield
-        finally:
-            self.annotate(key, seconds=self._clock() - start)
-
-    def instrument(self, key: str, iterator: Iterator[Any]) -> Iterator[Any]:
-        """Count and time each item the wrapped iterator produces."""
-        node = self.nodes.get(key)
-        if node is None:
-            for item in iterator:
-                yield item
-            return
-        node.actual_rows = node.actual_rows or 0
-        node.actual_seconds = node.actual_seconds or 0.0
-        clock = self._clock
-        while True:
-            start = clock()
-            try:
-                item = next(iterator)
-            except StopIteration:
-                node.actual_seconds += clock() - start
-                return
-            node.actual_seconds += clock() - start
-            node.actual_rows += 1
-            yield item
+    if query.where is not None and pipeline.filter is not None:
+        stage("filter", repr(query.where), pipeline.filter)
+    if pipeline.aggregate is not None:
+        stage("aggregate", pipeline.aggregate.detail, pipeline.aggregate)
+    if pipeline.sort is not None:
+        stage("sort", pipeline.sort.detail, pipeline.sort)
+    if pipeline.limit is not None:
+        stage("limit", pipeline.limit.detail, pipeline.limit)
+    if pipeline.project is not None:
+        stage("project", pipeline.project.detail, pipeline.project)
+    return root
 
 
 class ExplainResult:

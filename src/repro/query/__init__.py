@@ -14,6 +14,12 @@ from .ast import (
     conjuncts,
 )
 from .executor import ExecutionStats, Executor, ResultSet
+from .operators import (
+    ObjectKernel,
+    PhysicalOperator,
+    Pipeline,
+    compile_plan,
+)
 from .parser import parse_query
 from .paths import compare, evaluate_path, validate_path
 from .planner import (
@@ -22,6 +28,7 @@ from .planner import (
     ExtentScan,
     IndexEqProbe,
     IndexInProbe,
+    IndexOrderScan,
     IndexRangeProbe,
     Plan,
     Planner,
@@ -42,6 +49,10 @@ __all__ = [
     "ExecutionStats",
     "Executor",
     "ResultSet",
+    "ObjectKernel",
+    "PhysicalOperator",
+    "Pipeline",
+    "compile_plan",
     "parse_query",
     "compare",
     "evaluate_path",
@@ -51,6 +62,7 @@ __all__ = [
     "ExtentScan",
     "IndexEqProbe",
     "IndexInProbe",
+    "IndexOrderScan",
     "IndexRangeProbe",
     "Plan",
     "Planner",

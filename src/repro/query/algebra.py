@@ -10,6 +10,7 @@ projection along paths, set operations by object identity, and unnest.
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from ..core.obj import ObjectState
@@ -104,17 +105,26 @@ def project(
     list.  Missing/broken paths yield None.
     """
     for state in extent:
-        row: Dict[str, Any] = {}
-        for steps in paths:
-            values = evaluate_path(state, steps, deref)
-            key = ".".join(steps)
-            if not values:
-                row[key] = None
-            elif len(values) == 1:
-                row[key] = values[0]
-            else:
-                row[key] = values
-        yield row
+        yield project_row(state, paths, deref)
+
+
+def project_row(
+    state: ObjectState,
+    paths: Sequence[Sequence[str]],
+    deref: Deref,
+) -> Dict[str, Any]:
+    """One projected row — the per-object kernel behind :func:`project`."""
+    row: Dict[str, Any] = {}
+    for steps in paths:
+        values = evaluate_path(state, steps, deref)
+        key = ".".join(steps)
+        if not values:
+            row[key] = None
+        elif len(values) == 1:
+            row[key] = values[0]
+        else:
+            row[key] = values
+    return row
 
 
 def union(left: Iterable[ObjectState], right: Iterable[ObjectState]) -> List[ObjectState]:
@@ -190,3 +200,109 @@ def order_by(
         missing = [s for s in ordered if sort_key(s)[0] == 1]
         return present + missing
     return ordered
+
+
+def top_k(
+    extent: Iterable[ObjectState],
+    steps: Optional[Sequence[str]],
+    deref: Deref,
+    descending: bool,
+    k: int,
+) -> List[ObjectState]:
+    """The first ``k`` rows of :func:`order_by`, via bounded heaps.
+
+    O(n log k) time and O(k) extra ordering state instead of a full
+    sort; returns exactly ``order_by(extent, ...)[:k]`` (and, for
+    ``steps`` None, exactly the default OID order's first ``k``).  The
+    whole input is still consumed — real early termination needs an
+    ordered access path underneath a LIMIT instead.
+    """
+    if k <= 0:
+        return []
+    if steps is None:
+        return heapq.nsmallest(k, extent, key=lambda s: s.oid.value)
+
+    from ..index.btree import normalize_key
+
+    def sort_key(state: ObjectState):
+        values = evaluate_path(state, steps, deref)
+        if not values or values[0] is None:
+            return (1, (0, False), state.oid.value)
+        return (0, normalize_key(values[0]), state.oid.value)
+
+    if not descending:
+        return heapq.nsmallest(k, extent, key=sort_key)
+    # Descending keeps missing-value rows last (by descending OID, the
+    # order a reversed full sort leaves them in).
+    present: List[Any] = []
+    missing: List[ObjectState] = []
+    for state in extent:
+        values = evaluate_path(state, steps, deref)
+        if not values or values[0] is None:
+            missing.append(state)
+        else:
+            present.append((normalize_key(values[0]), state.oid.value, state))
+    top = [
+        entry[2]
+        for entry in heapq.nlargest(k, present, key=lambda e: (e[0], e[1]))
+    ]
+    if len(top) < k:
+        top.extend(
+            heapq.nlargest(k - len(top), missing, key=lambda s: s.oid.value)
+        )
+    return top
+
+
+def aggregate_rows(
+    query,
+    extent: Iterable[ObjectState],
+    deref: Deref,
+) -> List[Dict[str, Any]]:
+    """Fold an extent into per-group summary rows (COUNT/SUM/AVG/MIN/MAX).
+
+    Groups order by key with the None group last; a query without GROUP
+    BY folds everything into one row.
+    """
+    groups: Dict[Any, List[ObjectState]] = {}
+    if query.group_by is None:
+        groups[None] = [state for state in extent]
+    else:
+        for state in extent:
+            values = evaluate_path(state, query.group_by.steps, deref)
+            key = values[0] if values else None
+            groups.setdefault(key, []).append(state)
+
+    from ..index.btree import normalize_key
+
+    rows: List[Dict[str, Any]] = []
+    for key in sorted(
+        groups, key=lambda k: (k is None, normalize_key(k) if k is not None else 0)
+    ):
+        members = groups[key]
+        row: Dict[str, Any] = {}
+        if query.group_by is not None:
+            row[query.group_by.dotted()] = key
+        for aggregate in query.aggregates or []:
+            row[aggregate.label()] = _fold(aggregate, members, deref)
+        rows.append(row)
+    return rows
+
+
+def _fold(aggregate, members: List[ObjectState], deref: Deref) -> Any:
+    if aggregate.path is None:  # count(*)
+        return len(members)
+    values = []
+    for state in members:
+        terminal = evaluate_path(state, aggregate.path.steps, deref)
+        values.extend(v for v in terminal if v is not None)
+    if aggregate.fn == "count":
+        return len(values)
+    if not values:
+        return None
+    if aggregate.fn == "sum":
+        return sum(values)
+    if aggregate.fn == "avg":
+        return sum(values) / len(values)
+    if aggregate.fn == "min":
+        return min(values)
+    return max(values)

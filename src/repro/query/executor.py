@@ -1,45 +1,57 @@
-"""Query executor.
+"""Query executor: a thin driver over the physical operator pipeline.
 
-Runs a :class:`~repro.query.planner.Plan`: produces candidate objects via
-the plan's access path, re-verifies the full predicate (index probes give
-candidates, not answers — the residual and even the probed conjunct are
-re-checked against current state), then applies ordering, projection and
-limit.  Execution statistics (objects examined / matched) feed the
-optimizer experiments.
+A :class:`~repro.query.planner.Plan` is compiled (see
+:mod:`repro.query.operators`) into a pull pipeline — leaf access path,
+full-predicate re-check, sort/aggregate, limit, projection — and this
+module merely drains it, collecting OIDs and projected rows in one
+streaming pass.  Execution statistics are no longer counted here: they
+*are* the operators' live ``rows_out`` counters, surfaced through the
+legacy :class:`ExecutionStats` property view and rolled up into the
+database :class:`~repro.obs.metrics.MetricsRegistry` after each run.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from ..core.obj import ObjectState
 from ..core.oid import OID
-from ..errors import QueryError
-from . import algebra
+from ..obs.metrics import MetricsRegistry
 from .ast import AdtPredicate, Query
-from .paths import Deref, evaluate_path
-from .planner import (
-    AccessPath,
-    AdtIndexProbe,
-    ExtentScan,
-    IndexEqProbe,
-    IndexInProbe,
-    IndexRangeProbe,
-    Plan,
-)
+from .operators import ObjectKernel, Pipeline, compile_plan
+from .paths import Deref
+from .planner import Plan
 
 ScanClass = Callable[[str], Iterable[ObjectState]]
 Sender = Callable[..., Any]
 
 
 class ExecutionStats:
-    __slots__ = ("examined", "matched", "index_probes")
+    """Legacy examined/matched/index_probes counters as a property view.
 
-    def __init__(self) -> None:
-        self.examined = 0
-        self.matched = 0
-        self.index_probes = 0
+    The numbers live on the pipeline's operators (``examined`` is the
+    candidate source's ``rows_out``, ``matched`` the filter's,
+    ``index_probes`` the probe leaf's run count) — the same
+    single-source-of-truth pattern the buffer and lock stats use over
+    the metrics registry.
+    """
+
+    __slots__ = ("_pipeline",)
+
+    def __init__(self, pipeline: Optional[Pipeline] = None) -> None:
+        self._pipeline = pipeline
+
+    @property
+    def examined(self) -> int:
+        return self._pipeline.examined if self._pipeline is not None else 0
+
+    @property
+    def matched(self) -> int:
+        return self._pipeline.matched if self._pipeline is not None else 0
+
+    @property
+    def index_probes(self) -> int:
+        return self._pipeline.index_probes if self._pipeline is not None else 0
 
 
 class ResultSet:
@@ -47,7 +59,9 @@ class ResultSet:
 
     ``oids`` is always populated (in result order).  For projection
     queries ``rows`` holds dicts keyed by dotted path; otherwise callers
-    materialize handles through the database.
+    materialize handles through the database.  ``pipeline`` keeps the
+    executed operator chain so stats (and EXPLAIN ANALYZE) read live
+    counters.
     """
 
     def __init__(
@@ -57,14 +71,20 @@ class ResultSet:
         oids: List[OID],
         rows: Optional[List[Dict[str, Any]]],
         stats: ExecutionStats,
+        pipeline: Optional[Pipeline] = None,
     ) -> None:
         self.query = query
         self.plan = plan
         self.oids = oids
         self.rows = rows
         self.stats = stats
+        self.pipeline = pipeline
         #: Annotated PlanNode root when executed under EXPLAIN ANALYZE.
         self.analysis = None
+
+    def operator_stats(self) -> List[Dict[str, Any]]:
+        """Per-operator counters, leaf first (bench artifacts)."""
+        return self.pipeline.operator_stats() if self.pipeline is not None else []
 
     def __len__(self) -> int:
         return len(self.rows) if self.rows is not None else len(self.oids)
@@ -74,7 +94,7 @@ class ResultSet:
 
 
 class Executor:
-    """Plan interpreter over the database's storage-facing callables."""
+    """Compiles plans to operator pipelines and drains them."""
 
     def __init__(
         self,
@@ -82,191 +102,44 @@ class Executor:
         scan_class: ScanClass,
         send: Optional[Sender] = None,
         adt_eval: Optional[Callable[[AdtPredicate, ObjectState], bool]] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
-        self._deref = deref
         self._scan_class = scan_class
-        self._send = send
-        self._adt_eval = adt_eval
+        self.kernel = ObjectKernel(deref, send, adt_eval)
+        registry = metrics if metrics is not None else MetricsRegistry(enabled=False)
+        self._m_examined = registry.counter("query.rows_examined")
+        self._m_matched = registry.counter("query.rows_matched")
+        self._m_probes = registry.counter("query.index_probes")
 
-    def execute(self, plan: Plan, analyze=None) -> ResultSet:
-        """Run a plan.  ``analyze`` is an optional
-        :class:`~repro.obs.explain.ExplainContext`; when given, each
-        pipeline stage records produced rows and elapsed time into the
-        context's PlanNode tree (EXPLAIN ANALYZE).
+    def pipeline(self, plan: Plan) -> Pipeline:
+        """Compile (but do not open) the physical pipeline for a plan."""
+        return compile_plan(plan, self.kernel, self._scan_class)
+
+    def execute(self, plan: Plan, timed: bool = False) -> ResultSet:
+        """Run a plan.  With ``timed``, operators also accumulate
+        per-stage wall-clock (EXPLAIN ANALYZE reads it off the chain).
         """
-        stats = ExecutionStats()
-        started = time.perf_counter() if analyze is not None else 0.0
-        candidates = self._candidates(plan, stats)
-        if analyze is not None:
-            candidates = analyze.instrument("access", candidates)
-            filter_started = time.perf_counter()
-
-        matched: List[ObjectState] = []
-        where = plan.query.where
-        for state in candidates:
-            stats.examined += 1
-            if state.class_name not in plan.scope:
-                continue
-            if where is not None and not algebra.evaluate_predicate(
-                where, state, self._deref, self._send, self._adt_eval
-            ):
-                continue
-            stats.matched += 1
-            matched.append(state)
-
-        if analyze is not None:
-            # The loop interleaves candidate production and predicate
-            # checks; the filter's own cost is the loop minus the access
-            # time the instrumented iterator measured.
-            loop_seconds = time.perf_counter() - filter_started
-            access_node = analyze.node("access")
-            access_seconds = (
-                access_node.actual_seconds if access_node is not None else 0.0
-            ) or 0.0
-            analyze.annotate(
-                "filter",
-                rows=stats.matched,
-                seconds=max(0.0, loop_seconds - access_seconds),
-            )
-
+        pipeline = self.pipeline(plan)
+        if timed:
+            pipeline.set_timed()
         query = plan.query
-        if query.aggregates:
-            if analyze is not None:
-                with analyze.timed("aggregate"):
-                    rows = self._aggregate(query, matched)
-                analyze.annotate("aggregate", rows=len(rows))
-            else:
-                rows = self._aggregate(query, matched)
-            result = ResultSet(query, plan, [], rows, stats)
-            self._finish_analysis(analyze, result, started, len(rows))
-            return result
-
-        sort_started = time.perf_counter() if analyze is not None else 0.0
-        if query.order_by is not None:
-            matched = algebra.order_by(
-                matched, query.order_by.steps, self._deref, query.descending
-            )
-        else:
-            matched.sort(key=lambda s: s.oid.value)
-        if analyze is not None:
-            analyze.annotate(
-                "sort", rows=len(matched), seconds=time.perf_counter() - sort_started
-            )
-        if query.limit is not None:
-            matched = matched[: query.limit]
-            if analyze is not None:
-                analyze.annotate("limit", rows=len(matched))
-
-        oids = [state.oid for state in matched]
+        oids: List[OID] = []
         rows: Optional[List[Dict[str, Any]]] = None
-        if query.projections is not None:
-            if analyze is not None:
-                with analyze.timed("project"):
-                    rows = list(
-                        algebra.project(
-                            matched, [p.steps for p in query.projections], self._deref
-                        )
-                    )
-                analyze.annotate("project", rows=len(rows))
+        pipeline.open()
+        try:
+            if query.aggregates:
+                rows = [row for row in pipeline.rows()]
+            elif query.projections is not None:
+                rows = []
+                for state, projected in pipeline.rows():
+                    oids.append(state.oid)
+                    rows.append(projected)
             else:
-                rows = list(
-                    algebra.project(
-                        matched, [p.steps for p in query.projections], self._deref
-                    )
-                )
-        result = ResultSet(query, plan, oids, rows, stats)
-        self._finish_analysis(analyze, result, started, len(result))
-        return result
-
-    @staticmethod
-    def _finish_analysis(analyze, result: ResultSet, started: float, rows: int) -> None:
-        if analyze is None:
-            return
-        analyze.annotate("query", rows=rows, seconds=time.perf_counter() - started)
-        result.analysis = analyze.root
-
-    # -- aggregation ----------------------------------------------------------
-
-    def _aggregate(self, query: Query, matched: List[ObjectState]) -> List[Dict[str, Any]]:
-        """Fold matched objects into per-group summary rows."""
-        groups: Dict[Any, List[ObjectState]] = {}
-        if query.group_by is None:
-            groups[None] = matched
-        else:
-            for state in matched:
-                values = evaluate_path(state, query.group_by.steps, self._deref)
-                key = values[0] if values else None
-                groups.setdefault(key, []).append(state)
-
-        from ..index.btree import normalize_key
-
-        rows: List[Dict[str, Any]] = []
-        for key in sorted(groups, key=lambda k: (k is None, normalize_key(k) if k is not None else 0)):
-            members = groups[key]
-            row: Dict[str, Any] = {}
-            if query.group_by is not None:
-                row[query.group_by.dotted()] = key
-            for aggregate in query.aggregates or []:
-                row[aggregate.label()] = self._fold(aggregate, members)
-            rows.append(row)
-        return rows
-
-    def _fold(self, aggregate, members: List[ObjectState]) -> Any:
-        if aggregate.path is None:  # count(*)
-            return len(members)
-        values = []
-        for state in members:
-            terminal = evaluate_path(state, aggregate.path.steps, self._deref)
-            values.extend(v for v in terminal if v is not None)
-        if aggregate.fn == "count":
-            return len(values)
-        if not values:
-            return None
-        if aggregate.fn == "sum":
-            return sum(values)
-        if aggregate.fn == "avg":
-            return sum(values) / len(values)
-        if aggregate.fn == "min":
-            return min(values)
-        return max(values)
-
-    # -- candidate production -------------------------------------------------
-
-    def _candidates(self, plan: Plan, stats: ExecutionStats) -> Iterator[ObjectState]:
-        access = plan.access
-        if isinstance(access, ExtentScan):
-            return self._scan(access.classes)
-        if isinstance(access, IndexEqProbe):
-            stats.index_probes += 1
-            oids = access.index.lookup_eq(access.value, plan.scope)
-            return self._fetch(oids)
-        if isinstance(access, IndexInProbe):
-            stats.index_probes += 1
-            oids = access.index.lookup_in(access.values, plan.scope)
-            return self._fetch(oids)
-        if isinstance(access, IndexRangeProbe):
-            stats.index_probes += 1
-            oids = access.index.lookup_range(
-                access.low,
-                access.high,
-                access.include_low,
-                access.include_high,
-                plan.scope,
-            )
-            return self._fetch(oids)
-        if isinstance(access, AdtIndexProbe):
-            stats.index_probes += 1
-            oids = [oid for oid in access.probe() if isinstance(oid, OID)]
-            return self._fetch(sorted(set(oids)))
-        raise QueryError("unknown access path %r" % (access,))
-
-    def _scan(self, classes: List[str]) -> Iterator[ObjectState]:
-        for class_name in classes:
-            for state in self._scan_class(class_name):
-                yield state
-
-    def _fetch(self, oids: Iterable[OID]) -> Iterator[ObjectState]:
-        for oid in oids:
-            state = self._deref(oid)
-            if state is not None:
-                yield state
+                for state in pipeline.rows():
+                    oids.append(state.oid)
+        finally:
+            pipeline.close()
+        self._m_examined.inc(pipeline.examined)
+        self._m_matched.inc(pipeline.matched)
+        self._m_probes.inc(pipeline.index_probes)
+        return ResultSet(query, plan, oids, rows, ExecutionStats(pipeline), pipeline)

@@ -1,0 +1,175 @@
+"""Leaf operators: where rows enter the pipeline.
+
+``ExtentScanOp`` walks class extents, ``IndexProbeOp`` produces the
+candidate OIDs of one index probe (eq/in/range/ADT), ``IndexOrderScanOp``
+walks a B+-tree in key order (ORDER BY without a sort — the LIMIT above
+it stops the walk early), and ``VirtualScanOp`` wraps a federation
+adapter's ``scan`` so multidatabase queries run through the same
+pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Set
+
+from ...core.obj import ObjectState
+from ...core.oid import OID
+from .base import PhysicalOperator
+
+ScanClass = Callable[[str], Iterable[ObjectState]]
+
+
+class ExtentScanOp(PhysicalOperator):
+    """Yield every direct instance of the scanned classes, in heap order."""
+
+    name = "extent-scan"
+
+    def __init__(self, scan_class: ScanClass, classes: Sequence[str]) -> None:
+        super().__init__()
+        self._scan_class = scan_class
+        self.classes = tuple(classes)
+        self.detail = "scan(%s)" % ", ".join(self.classes)
+        self._iter: Optional[Iterator[ObjectState]] = None
+
+    def _on_open(self) -> None:
+        self._iter = self._states()
+
+    def _states(self) -> Iterator[ObjectState]:
+        for class_name in self.classes:
+            for state in self._scan_class(class_name):
+                yield state
+
+    def _next(self) -> Optional[ObjectState]:
+        if self._iter is None:
+            return None
+        return next(self._iter, None)
+
+    def _on_close(self) -> None:
+        self._iter = None
+
+
+class IndexProbeOp(PhysicalOperator):
+    """One index probe; yields the candidate OIDs it returned.
+
+    ``fetch`` runs the probe at ``open()`` (a B+-tree probe is a single
+    bulk lookup, not an incremental walk); ``probes`` counts runs.
+    """
+
+    def __init__(self, kind: str, fetch: Callable[[], Sequence[OID]], detail: str = "") -> None:
+        super().__init__()
+        self.kind = kind
+        self.name = "adt-index-probe" if kind == "adt" else "index-%s-probe" % kind
+        self.detail = detail
+        self._fetch = fetch
+        self.probes = 0
+        self._iter: Optional[Iterator[OID]] = None
+
+    def _on_open(self) -> None:
+        self.probes += 1
+        self._iter = iter(self._fetch())
+
+    def _next(self) -> Optional[OID]:
+        if self._iter is None:
+            return None
+        return next(self._iter, None)
+
+    def _on_close(self) -> None:
+        self._iter = None
+
+
+class IndexOrderScanOp(PhysicalOperator):
+    """Walk an index's B+-tree in key order, yielding in-scope OIDs.
+
+    Produces exactly the executor's ORDER BY order for a direct
+    single-valued attribute: key order (linked leaves), ties by OID, and
+    objects with a None key — the index's representation of a missing
+    value — deferred to the end regardless of direction.  Because rows
+    are pulled lazily, a LIMIT above this leaf ends the walk after k
+    matches: the early-termination path a sort can never offer.
+    """
+
+    name = "index-order-scan"
+
+    def __init__(self, index, scope: Set[str], descending: bool = False) -> None:
+        super().__init__()
+        self.index = index
+        self.scope = set(scope)
+        self.descending = descending
+        self.detail = "%s%s" % (index.name, " desc" if descending else "")
+        self.probes = 0
+        self._none_oids: Set[OID] = set()
+        self._iter: Optional[Iterator[OID]] = None
+
+    def _on_open(self) -> None:
+        self.probes += 1
+        self._none_oids = {
+            oid
+            for cls, oid in self.index.tree.search(None)
+            if cls in self.scope
+        }
+        self._iter = self._oids()
+
+    def _oids(self) -> Iterator[OID]:
+        groups: Iterable[List[OID]] = self._groups()
+        if self.descending:
+            # Key groups must be emitted in reverse; only the (key, OID)
+            # skeleton is materialized — states are still fetched lazily
+            # above us, so a LIMIT keeps dereferences < extent size.
+            ordered = list(groups)  # lint: ignore[operator-materialization]
+            ordered.reverse()
+            groups = ordered
+        for oids in groups:
+            for oid in oids:
+                yield oid
+        for oid in sorted(self._none_oids, reverse=self.descending):
+            yield oid
+
+    def _groups(self) -> Iterator[List[OID]]:
+        """Per-key lists of in-scope OIDs, ascending key order.
+
+        None-keyed entries (missing values sort first in the tree) are
+        skipped here and appended after every present key.
+        """
+        for _key, entries in self.index.tree.range():
+            oids = sorted(
+                (
+                    oid
+                    for cls, oid in entries
+                    if cls in self.scope and oid not in self._none_oids
+                ),
+                reverse=self.descending,
+            )
+            if oids:
+                yield oids
+
+    def _next(self) -> Optional[OID]:
+        if self._iter is None:
+            return None
+        return next(self._iter, None)
+
+    def _on_close(self) -> None:
+        self._iter = None
+
+
+class VirtualScanOp(PhysicalOperator):
+    """Yield the rows of one federated virtual class (adapter scan)."""
+
+    name = "virtual-scan"
+
+    def __init__(self, scan: Callable[[str], Iterator[Any]], class_name: str) -> None:
+        super().__init__()
+        self._scan = scan
+        self.class_name = class_name
+        self.detail = class_name
+        self._iter: Optional[Iterator[Any]] = None
+
+    def _on_open(self) -> None:
+        self._iter = self._scan(self.class_name)
+
+    def _next(self) -> Optional[Any]:
+        if self._iter is None:
+            return None
+        return next(self._iter, None)
+
+    def _on_close(self) -> None:
+        self._iter = None

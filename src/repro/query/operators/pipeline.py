@@ -1,0 +1,196 @@
+"""Plan -> physical operator pipeline compilation.
+
+``compile_plan`` turns the planner's logical :class:`~repro.query.planner.Plan`
+into an operator chain and wraps it in a :class:`Pipeline`, which keeps
+named handles on the interesting stages so the executor's legacy
+counters (examined/matched/index probes) and EXPLAIN ANALYZE read live
+operator state instead of re-instrumenting the run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+from ...core.oid import OID
+from ...errors import QueryError
+from ..planner import (
+    AdtIndexProbe,
+    ExtentScan,
+    IndexEqProbe,
+    IndexInProbe,
+    IndexOrderScan,
+    IndexRangeProbe,
+    Plan,
+)
+from .base import PhysicalOperator
+from .leaves import ExtentScanOp, IndexOrderScanOp, IndexProbeOp
+from .unary import (
+    AggregateOp,
+    DerefOp,
+    FilterOp,
+    GroupByOp,
+    LimitOp,
+    ProjectOp,
+    SortOp,
+)
+
+
+class Pipeline:
+    """A compiled operator chain plus named handles on its stages."""
+
+    def __init__(
+        self,
+        plan: Plan,
+        root: PhysicalOperator,
+        source: PhysicalOperator,
+        probe: Optional[PhysicalOperator] = None,
+        filter: Optional[FilterOp] = None,
+        sort: Optional[SortOp] = None,
+        limit: Optional[LimitOp] = None,
+        aggregate: Optional[AggregateOp] = None,
+        project: Optional[ProjectOp] = None,
+    ) -> None:
+        self.plan = plan
+        #: Top of the chain — what the driver pulls from.
+        self.root = root
+        #: The operator producing candidate *states* (scan, or the deref
+        #: above a probe); its ``rows_out`` is the classic ``examined``.
+        self.source = source
+        self.probe = probe
+        self.filter = filter
+        self.sort = sort
+        self.limit = limit
+        self.aggregate = aggregate
+        self.project = project
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def open(self) -> None:
+        self.root.open()
+
+    def close(self) -> None:
+        self.root.close()
+
+    def set_timed(self, timed: bool = True) -> None:
+        self.root.set_timed(timed)
+
+    def rows(self) -> Iterator[Any]:
+        return self.root.rows()
+
+    # -- live counters -----------------------------------------------------
+
+    @property
+    def examined(self) -> int:
+        return self.source.rows_out
+
+    @property
+    def matched(self) -> int:
+        return self.filter.rows_out if self.filter is not None else 0
+
+    @property
+    def index_probes(self) -> int:
+        return self.probe.probes if self.probe is not None else 0
+
+    def operators(self) -> List[PhysicalOperator]:
+        """The chain, bottom (leaf) first."""
+        chain: List[PhysicalOperator] = []
+        op: Optional[PhysicalOperator] = self.root
+        while op is not None:
+            chain.append(op)
+            op = op.child
+        chain.reverse()
+        return chain
+
+    def operator_stats(self) -> List[Dict[str, Any]]:
+        """Per-operator counters, leaf first (bench artifacts)."""
+        return [op.stats() for op in self.operators()]
+
+    def __repr__(self) -> str:
+        return "<Pipeline %s>" % " -> ".join(op.name for op in self.operators())
+
+
+def compile_plan(plan: Plan, kernel, scan_class) -> Pipeline:
+    """Compile a plan into a pipeline over ``kernel``-typed rows."""
+    query = plan.query
+    access = plan.access
+    probe: Optional[PhysicalOperator] = None
+
+    if isinstance(access, ExtentScan):
+        source: PhysicalOperator = ExtentScanOp(scan_class, access.classes)
+    elif isinstance(access, IndexEqProbe):
+        probe = IndexProbeOp(
+            "eq",
+            lambda: access.index.lookup_eq(access.value, plan.scope),
+            access.description,
+        )
+        source = DerefOp(probe, kernel.deref)
+    elif isinstance(access, IndexInProbe):
+        probe = IndexProbeOp(
+            "in",
+            lambda: access.index.lookup_in(access.values, plan.scope),
+            access.description,
+        )
+        source = DerefOp(probe, kernel.deref)
+    elif isinstance(access, IndexRangeProbe):
+        probe = IndexProbeOp(
+            "range",
+            lambda: access.index.lookup_range(
+                access.low,
+                access.high,
+                access.include_low,
+                access.include_high,
+                plan.scope,
+            ),
+            access.description,
+        )
+        source = DerefOp(probe, kernel.deref)
+    elif isinstance(access, AdtIndexProbe):
+        probe = IndexProbeOp(
+            "adt",
+            lambda: sorted(
+                {oid for oid in access.probe() if isinstance(oid, OID)}
+            ),
+            access.description,
+        )
+        source = DerefOp(probe, kernel.deref)
+    elif isinstance(access, IndexOrderScan):
+        probe = IndexOrderScanOp(access.index, plan.scope, access.descending)
+        source = DerefOp(probe, kernel.deref)
+    else:
+        raise QueryError("unknown access path %r" % (access,))
+
+    # The FULL predicate is re-checked — index probes give candidates,
+    # not answers; current state decides.
+    filter_op = FilterOp(source, kernel, plan.scope, query.where)
+    root: PhysicalOperator = filter_op
+
+    if query.aggregates:
+        op_type = GroupByOp if query.group_by is not None else AggregateOp
+        aggregate_op = op_type(root, kernel, query)
+        return Pipeline(
+            plan, aggregate_op, source, probe=probe, filter=filter_op,
+            aggregate=aggregate_op,
+        )
+
+    sort_op: Optional[SortOp] = None
+    if not isinstance(access, IndexOrderScan):
+        steps = query.order_by.steps if query.order_by is not None else None
+        sort_op = SortOp(root, kernel, steps, query.descending, limit=query.limit)
+        root = sort_op
+
+    limit_op: Optional[LimitOp] = None
+    if query.limit is not None:
+        limit_op = LimitOp(root, query.limit)
+        root = limit_op
+
+    project_op: Optional[ProjectOp] = None
+    if query.projections is not None:
+        project_op = ProjectOp(
+            root, kernel, [path.steps for path in query.projections]
+        )
+        root = project_op
+
+    return Pipeline(
+        plan, root, source, probe=probe, filter=filter_op, sort=sort_op,
+        limit=limit_op, project=project_op,
+    )

@@ -87,6 +87,23 @@ class AdtIndexProbe(AccessPath):
         )
 
 
+class IndexOrderScan(AccessPath):
+    """Walk an index in key order: ORDER BY without a sort.
+
+    Chosen only under a LIMIT — the point is that the pipeline above can
+    stop after k matches, so the walk (and the dereferences it feeds)
+    never touches most of the extent.
+    """
+
+    def __init__(self, index: Index, descending: bool = False) -> None:
+        self.index = index
+        self.descending = descending
+        self.description = "index-order-scan(%s%s)" % (
+            index.name,
+            " desc" if descending else "",
+        )
+
+
 class Plan:
     """An executable plan: access path + residual filter + finishing."""
 
@@ -105,16 +122,6 @@ class Plan:
         self.residual = residual
         self.estimated_cost = estimated_cost
         self.notes = notes or []
-
-    def tree(self):
-        """This plan as an (unexecuted) PlanNode pipeline.
-
-        Returns a fresh :class:`~repro.obs.explain.ExplainContext`; the
-        executor fills in per-node actuals when run in analyze mode.
-        """
-        from ..obs.explain import build_plan_tree
-
-        return build_plan_tree(self)
 
     def explain(self) -> str:
         lines = [
@@ -203,6 +210,14 @@ class Planner:
                 "index available but scan cheaper: est %.1f vs scan %.1f"
                 % (best[0], scan_cost)
             )
+        ordered = self._ordered_scan_candidate(query, scope)
+        if ordered is not None:
+            notes.append(
+                "ordered index scan: ORDER BY %s served by index %s, "
+                "LIMIT %d stops the walk early"
+                % (query.order_by.dotted(), ordered.index.name, query.limit)
+            )
+            return Plan(query, scope, ordered, query.where, scan_cost, notes)
         return Plan(query, scope, ExtentScan(sorted(scope)), query.where, scan_cost, notes)
 
     # -- internals -------------------------------------------------------------
@@ -228,6 +243,34 @@ class Planner:
             validate_path(self.schema, query.target_class, query.order_by.steps)
         if not scope:
             raise PlanningError("empty evaluation scope for %r" % (query,))
+
+    def _ordered_scan_candidate(
+        self, query: Query, scope: Set[str]
+    ) -> Optional[IndexOrderScan]:
+        """An ordered index walk serving ORDER BY ... LIMIT, if sound.
+
+        Requires a covering B+-tree index on the (single-step,
+        single-valued) ordering attribute and a LIMIT to cash in the
+        early termination; without a LIMIT a scan + sort reads the same
+        rows with better locality.  Nested-attribute indexes are
+        excluded: their keys are path terminals, whose None/missing
+        partition does not coincide with the executor's per-object
+        ordering semantics.
+        """
+        if query.order_by is None or query.limit is None or query.aggregates:
+            return None
+        steps = query.order_by.steps
+        if len(steps) != 1:
+            return None
+        index = self.indexes.find_index(query.target_class, steps, scope)
+        if index is None or index.kind not in ("single-class", "class-hierarchy"):
+            return None
+        attribute = steps[0]
+        for cls in scope:
+            declared = self.schema.attributes(cls)
+            if attribute not in declared or declared[attribute].multi:
+                return None
+        return IndexOrderScan(index, query.descending)
 
     def _index_candidate(
         self, query: Query, predicate: Expr, scope: Set[str]

@@ -440,6 +440,59 @@ def f():
         assert lint(source, subpackage="txn") == []
 
 
+class TestNestedPrivacyDomain:
+    """repro.query.operators is a privacy domain of its own."""
+
+    def test_subpackage_of_resolves_nested_domain(self):
+        from repro.analysis.lint import _subpackage_of
+
+        assert (
+            _subpackage_of("src/repro/query/operators/base.py", None)
+            == "query.operators"
+        )
+        assert _subpackage_of("src/repro/query/algebra.py", None) == "query"
+        assert _subpackage_of("src/repro/database.py", None) == ""
+
+    def test_parent_package_private_import_fires(self):
+        source = "from ..algebra import _fold\n"
+        violations = lint(source, subpackage="query.operators")
+        assert [v.rule for v in violations] == ["private-access"]
+
+    def test_nested_domain_internal_private_import_is_fine(self):
+        source = "from .base import _chain\n"
+        assert lint(source, subpackage="query.operators") == []
+
+    def test_absolute_private_import_into_nested_domain_fires(self):
+        source = "from repro.query.operators.base import _chain\n"
+        violations = lint(source, subpackage="obs")
+        assert [v.rule for v in violations] == ["private-access"]
+        assert "query.operators" in violations[0].message
+
+    def test_parent_reaching_into_nested_domain_privates_fires(self):
+        source = "from .operators.base import _chain\n"
+        violations = lint(source, subpackage="query")
+        assert [v.rule for v in violations] == ["private-access"]
+
+
+class TestOperatorMaterializationRule:
+    def test_fires_inside_operators_package(self):
+        source = "def drain(rows):\n    return list(rows)\n"
+        violations = lint(source, subpackage="query.operators")
+        assert [v.rule for v in violations] == ["operator-materialization"]
+        assert "materializes" in violations[0].message
+
+    def test_silent_outside_operators_package(self):
+        source = "def drain(rows):\n    return list(rows)\n"
+        assert lint(source, subpackage="query") == []
+
+    def test_pragma_marks_deliberate_pipeline_breaker(self):
+        source = (
+            "def drain(rows):\n"
+            "    return list(rows)  # lint: ignore[operator-materialization]\n"
+        )
+        assert lint(source, subpackage="query.operators") == []
+
+
 class TestSimpleRules:
     def test_mutable_default(self):
         assert [v.rule for v in lint("def f(x=[]):\n    pass\n")] == ["mutable-default"]
