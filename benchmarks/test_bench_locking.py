@@ -7,9 +7,10 @@ conflict outcomes are reported alongside wall-clock costs.
 """
 
 import threading
+import time
 
 import pytest
-from conftest import print_table, timed
+from conftest import emit_bench_artifact, print_table, timed
 
 from repro import AttributeDef, Database
 from repro.errors import LockTimeoutError
@@ -136,3 +137,51 @@ def test_concurrent_object_writers_throughput(part_db):
     assert not errors
     assert len(done) == 4
     assert db.locks.lock_count() == 0
+
+
+def test_wait_event_profile_artifact(part_db):
+    """E8c: wait-event export — a real conflict lands in SysWaitEvent.
+
+    A writer holds X on one object while a reader blocks on it; the
+    profiled Lock wait (with blocker/blockee txn ids) is queried back
+    through the SysWaitEvent system view and exported as a bench
+    artifact alongside the engine metric snapshot.
+    """
+    db, oids = part_db
+    writer = db.txns.begin()
+    db.update(oids[0], {"n": -1})
+    started = threading.Event()
+
+    def blocked_reader():
+        with db.transaction():
+            started.set()
+            db.get_state(oids[0])  # blocks until the writer commits
+
+    thread = threading.Thread(target=blocked_reader)
+    thread.start()
+    started.wait()
+    time.sleep(0.05)
+    writer.commit()
+    thread.join(timeout=30)
+
+    rows = db.select(
+        "SysWaitEvent where kind = 'Lock' order by total_wait desc limit 10"
+    )
+    assert rows and rows[0]["total_wait"] > 0
+    assert rows[0]["last_blocker"] == writer.txn_id
+    print_table(
+        "E8c: top wait events",
+        ("kind", "target", "count", "total_wait"),
+        [
+            (row["kind"], row["target"], row["count"], round(row["total_wait"], 4))
+            for row in rows
+        ],
+    )
+    emit_bench_artifact(
+        "e8_lock_waits",
+        {
+            "wait_events": rows,
+            "recent": [event.to_dict() for event in db.waits.recent(16)],
+        },
+        db=db,
+    )

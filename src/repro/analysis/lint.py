@@ -35,6 +35,13 @@ hard gate over ``src/repro``:
     materialize a stream: physical operators are pull pipelines, and an
     eager ``list()`` defeats LIMIT early termination.  Intentional
     pipeline breakers carry the pragma.
+``wall-clock-duration``
+    No ``time.time()`` in engine code: wall clocks step (NTP, DST) and
+    make terrible duration measurements.  Durations belong to
+    ``time.perf_counter`` via the metrics/tracing instruments
+    (``histogram.time()``, ``tracer.span()``, ``WaitProfiler.record``).
+    A genuine wall-clock *timestamp* (export ``generated_at``,
+    transaction start time) carries the pragma.
 
 A violation can be baselined in place with an inline pragma::
 
@@ -59,6 +66,7 @@ ALL_RULES = (
     "mutable-default",
     "bare-except",
     "operator-materialization",
+    "wall-clock-duration",
 )
 
 #: Nested packages that are privacy domains of their own: files under
@@ -135,6 +143,10 @@ ENGINE_LOCK_LATTICE: Dict[str, int] = {
     "_id_mutex": 10,
     "_mutex": 20,
     "_condition": 20,
+    # The wait profiler's mutex sits above the lock table: the lock
+    # manager records wait events while holding _condition, never the
+    # reverse.
+    "_waits_mutex": 30,
 }
 
 
@@ -191,6 +203,8 @@ class Linter:
             self._check_privacy(tree, path, subpackage, violations)
         if "operator-materialization" in run and subpackage == "query.operators":
             self._check_operator_materialization(tree, path, violations)
+        if "wall-clock-duration" in run:
+            self._check_wall_clock(tree, path, violations)
         return [v for v in violations if not _silenced(v, pragmas)]
 
     # -- simple rules ----------------------------------------------------
@@ -418,6 +432,36 @@ class Linter:
                         "list(...) materializes the stream inside a physical "
                         "operator; pull rows lazily, or mark a deliberate "
                         "pipeline breaker with the pragma",
+                    )
+                )
+
+    # -- clock discipline ------------------------------------------------
+
+    def _check_wall_clock(self, tree, path, out) -> None:
+        """Flag ``time.time()`` calls.
+
+        The engine's duration convention is ``time.perf_counter`` (see
+        :mod:`repro.obs.export`); wall clocks are only acceptable as
+        human-facing timestamps, and those sites carry the pragma.
+        """
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "time"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "time"
+            ):
+                out.append(
+                    Violation(
+                        "wall-clock-duration",
+                        path,
+                        node.lineno,
+                        node.col_offset,
+                        "time.time() is a wall clock; measure durations with "
+                        "time.perf_counter via the obs instruments "
+                        "(histogram.time(), tracer.span(), WaitProfiler), or "
+                        "mark a genuine timestamp with the pragma",
                     )
                 )
 

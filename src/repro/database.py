@@ -28,6 +28,7 @@ from .index.manager import IndexManager
 from .obs.explain import ExplainResult, operator_tree
 from .obs.metrics import MetricsRegistry
 from .obs.tracing import Tracer
+from .obs.waits import WaitProfiler
 from .query.ast import AdtPredicate, Query
 from .query.executor import Executor, ResultSet
 from .query.parser import parse_query
@@ -121,22 +122,45 @@ class Database:
         self.tracer = Tracer(
             capacity=512, slow_threshold=slow_op_threshold, registry=self.metrics
         )
-        self.storage = StorageManager(path, page_size, buffer_capacity, self.metrics)
+        #: Wait-event profiler: every stall (lock waits, buffer misses,
+        #: page I/O, WAL flushes) lands here, tagged with the waiting
+        #: transaction; queryable through the SysWaitEvent system view.
+        self.waits = WaitProfiler(registry=self.metrics)
+        self.storage = StorageManager(
+            path, page_size, buffer_capacity, self.metrics, waits=self.waits
+        )
         self.schema = Schema()
-        self.locks = LockManager(self.metrics)
+        self.locks = LockManager(self.metrics, waits=self.waits)
         self.wal = WriteAheadLog(
             path + ".wal" if path else None,
             sync_on_commit=sync_on_commit,
             registry=self.metrics,
+            waits=self.waits,
         )
-        self.txns = TransactionManager(self.wal, self.locks)
+        self.txns = TransactionManager(self.wal, self.locks, registry=self.metrics)
+        self.waits.current_txn = self._current_txn_id
         self.clustering = clustering or NoClustering()
         self.use_locks = use_locks
         self._oids = OIDGenerator()
         self.indexes = IndexManager(
             self.schema, self._scan_coerced, self._deref, self.metrics
         )
-        self.planner = Planner(self.schema, self.indexes, self._extent_count)
+        # Imported here, not at module top: sysviews pulls in the multidb
+        # and query layers, which import repro.obs — an eager import from
+        # the obs package initializer would cycle through storage.buffer.
+        from .obs.sysviews import SystemCatalog
+
+        #: System statistics views (SysStat, SysWaitEvent, SysLock, ...),
+        #: queryable like any class through the standard pipeline.
+        self.syscat = SystemCatalog(self)
+        self.planner = Planner(
+            self.schema, self.indexes, self._extent_count,
+            system_catalog=self.syscat,
+        )
+        #: Per-operator counters of the last *user* query (system-view
+        #: queries never overwrite it — observing must not perturb the
+        #: observed); served by the SysOperator view.
+        self.last_operator_stats: Optional[List[Dict[str, Any]]] = None
         self._executor = Executor(
             self._deref, self._scan_coerced, self.send, self._adt_eval,
             metrics=self.metrics,
@@ -183,7 +207,10 @@ class Database:
             self.indexes = IndexManager(
                 self.schema, self.storage.scan_class, self._deref, self.metrics
             )
-            self.planner = Planner(self.schema, self.indexes, self._extent_count)
+            self.planner = Planner(
+                self.schema, self.indexes, self._extent_count,
+                system_catalog=self.syscat,
+            )
         if recover_on_open:
             _recover(self.wal, self.storage)
         self._oids.advance_past(self.storage.directory.max_oid_value())
@@ -280,6 +307,11 @@ class Database:
 
     def _extent_count(self, class_name: str) -> int:
         return self.storage.count_class(class_name)
+
+    def _current_txn_id(self) -> Optional[int]:
+        """Wait-profiler provider: the calling thread's transaction id."""
+        current = self.txns.current
+        return current.txn_id if current is not None else None
 
     def _adt_eval(self, predicate: AdtPredicate, state: ObjectState) -> bool:
         if self.adt is None:
@@ -547,6 +579,8 @@ class Database:
         """
         source = query if isinstance(query, str) else None
         parsed = self._parse(query)
+        if self.syscat.is_system(parsed.target_class):
+            return self.syscat.check(parsed, source)
         if self.views is not None:
             parsed = self.views.rewrite(parsed)
         return self._analyze(parsed, source)
@@ -566,9 +600,22 @@ class Database:
             raise SemanticError(report.render(), report.diagnostics)
         return report
 
+    def _system_gate(self, query: Query, source: Optional[str]) -> DiagnosticReport:
+        """The system-view counterpart of :meth:`_semantic_gate`."""
+        with self.tracer.span("query.check", target=query.target_class):
+            report = self.syscat.check(query, source)
+        self._m_checks.inc()
+        if not report.ok:
+            raise SemanticError(report.render(), report.diagnostics)
+        return report
+
     def plan(self, query: Union[str, Query]) -> Plan:
         source = query if isinstance(query, str) else None
         query = self._parse(query)
+        if self.syscat.is_system(query.target_class):
+            self._system_gate(query, source)
+            self._m_plans.inc()
+            return self.planner.plan(query)
         report = self._semantic_gate(query, source)
         with self.tracer.span("query.plan", target=query.target_class):
             plan = self.planner.plan(query, exclude_classes=report.pruned_classes)
@@ -587,6 +634,15 @@ class Database:
         the semantic gate, plan, and take the class scan locks."""
         source = query if isinstance(query, str) else None
         query = self._parse(query)
+        if self.syscat.is_system(query.target_class):
+            # System views are observability metadata, not stored objects:
+            # no authorization named target, no view rewrite, no scan
+            # locks (reading statistics must never block on user data).
+            report = self._system_gate(query, source)
+            with self.tracer.span("query.plan", target=query.target_class):
+                plan = self.planner.plan(query)
+            self._m_plans.inc()
+            return query, plan, report, False
         self._check_authz("read", query.target_class)
         was_view = self.views is not None and self.views.is_view(query.target_class)
         if self.views is not None:
@@ -604,10 +660,27 @@ class Database:
     def _execute(self, query: Union[str, Query], analyze: bool):
         with self.tracer.span("query.execute"), self._m_query_seconds.time():
             query, plan, report, was_view = self._prepare_query(query)
+            is_system = self.syscat.is_system(query.target_class)
             with self.tracer.span("query.run", access=plan.access.description):
-                result = self._executor.execute(plan, timed=analyze)
+                if is_system:
+                    result = self._executor.execute_rows(
+                        plan,
+                        self.syscat.kernel(query.target_class),
+                        self.syscat.scan,
+                        timed=analyze,
+                    )
+                else:
+                    result = self._executor.execute(plan, timed=analyze)
             if analyze:
                 result.analysis = operator_tree(plan, result.pipeline)
+            if is_system:
+                # Statistics rows carry no OIDs: nothing to filter, and
+                # querying the observer must not overwrite the observed
+                # last-user-query operator stats below.
+                self._m_executes.inc()
+                self._m_query_rows.inc(len(result))
+                return result, report
+            self.last_operator_stats = result.operator_stats()
             if self.authz is not None and not was_view:
                 # Per-object content filtering; view queries skip it because
                 # the right to the view *is* the content-based authorization.
@@ -640,9 +713,16 @@ class Database:
         """Compatibility wrapper: the rendered form of :meth:`explain`."""
         return self.explain(query).render()
 
-    def select(self, query: Union[str, Query]) -> List[ObjectHandle]:
-        """Convenience: run a query and return handles (no projections)."""
+    def select(self, query: Union[str, Query]) -> List[Any]:
+        """Convenience: run a query and return handles (no projections).
+
+        System-view queries (``db.select("SysWaitEvent where ...")``)
+        return the statistics row dicts directly — there are no objects
+        behind them to hand out.
+        """
         result = self.execute(query)
+        if result.system:
+            return list(result.rows or [])
         return [ObjectHandle(self, oid) for oid in result.oids]
 
     def select_iter(self, query: Union[str, Query]) -> Iterator[ObjectHandle]:
@@ -656,6 +736,11 @@ class Database:
         rows stream past, exactly as :meth:`execute` filters its result.
         """
         prepared, plan, _report, was_view = self._prepare_query(query)
+        if self.syscat.is_system(prepared.target_class):
+            raise QueryError(
+                "select_iter yields object handles; system views have "
+                "none — use execute() or select()"
+            )
         if prepared.aggregates:
             raise QueryError("select_iter does not support aggregate queries")
         if prepared.projections is not None:
@@ -676,6 +761,32 @@ class Database:
                 yield ObjectHandle(self, oid)
         finally:
             pipeline.close()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    _UNSET = object()
+
+    def configure_observability(
+        self,
+        slow_threshold: Any = _UNSET,
+        tracing: Optional[bool] = None,
+        wait_profiling: Optional[bool] = None,
+    ) -> None:
+        """Adjust the observability layer at runtime.
+
+        ``slow_threshold`` (seconds, or None to disable the slow log)
+        forwards to :meth:`~repro.obs.tracing.Tracer.set_slow_threshold`;
+        ``tracing`` and ``wait_profiling`` toggle span recording and the
+        wait-event profiler.  Omitted arguments leave settings untouched.
+        """
+        if slow_threshold is not Database._UNSET:
+            self.tracer.set_slow_threshold(slow_threshold)
+        if tracing is not None:
+            self.tracer.enabled = bool(tracing)
+        if wait_profiling is not None:
+            self.waits.enabled = bool(wait_profiling)
 
     # ------------------------------------------------------------------
     # transactions & workspaces

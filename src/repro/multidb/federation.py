@@ -182,6 +182,10 @@ class FederationKernel:
 
     __slots__ = ("federation", "class_name")
 
+    #: Row dicts have no OID tiebreaker: an unordered query keeps scan
+    #: order, and ``compile_plan`` must not insert an implicit sort.
+    has_default_order = False
+
     def __init__(self, federation: "Federation", class_name: str) -> None:
         self.federation = federation
         self.class_name = class_name

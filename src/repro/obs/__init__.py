@@ -2,16 +2,26 @@
 
 One registry of metrics per database (counters, gauges, fixed-bucket
 histograms), a span tracer with a bounded ring buffer and slow-op log,
-EXPLAIN ANALYZE plan trees read off live operator counters, and a JSON
-exporter for benchmark
-artifacts.  Every engine-internal count — buffer hits, lock waits, WAL
+a wait-event profiler (lock waits, buffer misses, page I/O, WAL
+flushes, each tagged with the waiting transaction), EXPLAIN ANALYZE
+plan trees read off live operator counters, and JSON/Prometheus
+exporters.  Every engine-internal count — buffer hits, lock waits, WAL
 flushes, index probes, swizzle faults, query phases — flows through
 here; the legacy per-component ``*Stats`` classes remain as thin views
 over registry instruments.
+
+The system statistics views (:mod:`repro.obs.sysviews`) are **not**
+re-exported here: that module imports the multidb and query layers,
+which import this package back — the database imports it lazily.
 """
 
 from .explain import ExplainResult, PlanNode, operator_tree
-from .export import export_json, observability_payload, write_bench_artifact
+from .export import (
+    export_json,
+    observability_payload,
+    render_prometheus,
+    write_bench_artifact,
+)
 from .metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -21,6 +31,7 @@ from .metrics import (
     NULL_INSTRUMENT,
 )
 from .tracing import SlowOp, Span, Tracer
+from .waits import WAIT_KINDS, WaitEvent, WaitProfiler
 
 __all__ = [
     "Counter",
@@ -34,8 +45,12 @@ __all__ = [
     "SlowOp",
     "Span",
     "Tracer",
+    "WAIT_KINDS",
+    "WaitEvent",
+    "WaitProfiler",
     "export_json",
     "observability_payload",
     "operator_tree",
+    "render_prometheus",
     "write_bench_artifact",
 ]

@@ -107,6 +107,7 @@ def operator_tree(plan, pipeline) -> PlanNode:
         IndexInProbe,
         IndexOrderScan,
         IndexRangeProbe,
+        SystemScan,
     )
 
     query = plan.query
@@ -131,6 +132,8 @@ def operator_tree(plan, pipeline) -> PlanNode:
         op, access_kind = "adt-index-probe", "index"
     elif isinstance(access, IndexOrderScan):
         op, access_kind = "index-order-scan", "index-order"
+    elif isinstance(access, SystemScan):
+        op, access_kind = "system-scan", "system"
     else:  # future access paths degrade gracefully
         op, access_kind = type(access).__name__, "unknown"
     source = pipeline.source

@@ -1,9 +1,21 @@
-"""JSON export of observability data.
+"""Export of observability data: JSON payloads and Prometheus text.
 
 The benchmarks suite uses :func:`write_bench_artifact` to drop a
 ``BENCH_<name>.json`` next to the run — engine-internal counters
 (buffer faults, lock waits, WAL flushes) alongside the measured series,
 so a perf PR can diff artifacts instead of eyeballing stdout tables.
+:func:`render_prometheus` renders the same registry in the Prometheus
+text exposition format for scraping.
+
+**Clock convention.**  Exported payloads carry exactly one wall-clock
+field, ``generated_at`` (``time.time()``, seconds since the epoch) —
+it says *when* the snapshot was taken.  Every *duration* field —
+histogram sums, span ``elapsed``, slow-op thresholds, wait-event
+seconds — comes from ``time.perf_counter`` instruments, which are
+monotonic and immune to NTP steps; the payload states this in its
+``duration_clock`` field.  The ``wall-clock-duration`` engine lint
+enforces the split: ``time.time()`` in ``src/repro`` is flagged unless
+the site marks a genuine timestamp with a pragma, as below.
 """
 
 from __future__ import annotations
@@ -11,9 +23,9 @@ from __future__ import annotations
 import json
 import os
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
-from .metrics import MetricsRegistry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .tracing import Tracer
 
 
@@ -23,7 +35,10 @@ def observability_payload(
     extra: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """One JSON-ready dict of everything the obs layer knows."""
-    payload: Dict[str, Any] = {"generated_at": time.time()}
+    payload: Dict[str, Any] = {
+        "generated_at": time.time(),  # lint: ignore[wall-clock-duration]
+        "duration_clock": "perf_counter",
+    }
     if registry is not None:
         payload["metrics"] = registry.snapshot()
     if tracer is not None:
@@ -63,3 +78,61 @@ def write_bench_artifact(
     safe = "".join(ch if (ch.isalnum() or ch in "-_") else "_" for ch in name)
     path = os.path.join(directory or os.getcwd(), "BENCH_%s.json" % safe)
     return export_json(path, registry, tracer, extra={"bench": name, **data})
+
+
+# -- Prometheus text exposition ---------------------------------------------
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    safe = "".join(ch if (ch.isalnum() or ch == "_") else "_" for ch in name)
+    return "%s_%s" % (prefix, safe) if prefix else safe
+
+
+def _prom_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    return repr(value)
+
+
+def render_prometheus(registry: MetricsRegistry, prefix: str = "kimdb") -> str:
+    """The registry in Prometheus text exposition format.
+
+    Counters render as ``<name>_total``, gauges plainly, histograms as
+    cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``;
+    derived metrics render as gauges.  Every instrument in the registry
+    appears — the round-trip test parses this text back and compares it
+    against :meth:`MetricsRegistry.snapshot`.
+    """
+    lines: List[str] = []
+    for name in registry.names():
+        prom = _prom_name(name, prefix)
+        try:
+            metric = registry.get(name)
+        except Exception:
+            metric = None  # derived: value only
+        if isinstance(metric, Counter):
+            lines.append("# TYPE %s_total counter" % prom)
+            lines.append("%s_total %s" % (prom, _prom_value(metric.value)))
+        elif isinstance(metric, Histogram):
+            lines.append("# TYPE %s histogram" % prom)
+            cumulative = 0
+            for i, bound in enumerate(metric.bounds):
+                cumulative += metric.bucket_counts[i]
+                lines.append(
+                    '%s_bucket{le="%g"} %d' % (prom, bound, cumulative)
+                )
+            lines.append('%s_bucket{le="+Inf"} %d' % (prom, metric.count))
+            lines.append("%s_sum %s" % (prom, _prom_value(metric.total)))
+            lines.append("%s_count %d" % (prom, metric.count))
+        elif isinstance(metric, Gauge):
+            lines.append("# TYPE %s gauge" % prom)
+            lines.append("%s %s" % (prom, _prom_value(metric.value)))
+        else:
+            value = registry.value(name)
+            lines.append("# TYPE %s gauge" % prom)
+            lines.append("%s %s" % (prom, _prom_value(value)))
+    return "\n".join(lines) + "\n"

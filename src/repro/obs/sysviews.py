@@ -1,0 +1,283 @@
+"""System statistics views: the database's own state as virtual extents.
+
+The self-observing database: every internal statistic — wait events,
+locks, transactions, metric counters, slow operations, the last query's
+operator pipeline — is exposed as a queryable *system view* and flows
+through the normal OQL parse -> analyze -> plan -> pipeline path.  A
+monitoring question is just a query::
+
+    db.select("SysWaitEvent where kind = 'Lock' order by total_wait desc limit 10")
+
+System views are virtual classes served by a private
+:class:`~repro.multidb.federation.Federation` (one adapter, source
+``"system"``), so the physical pipeline is the same Volcano chain every
+federated query runs — VirtualScanOp under filter/sort/limit/project —
+and EXPLAIN shows a ``system-scan`` access node.  Rows are generated at
+``open()`` time: each scan is a fresh snapshot, never a cache.
+
+This module is imported lazily by :class:`~repro.database.Database` (not
+from ``repro.obs.__init__``): it pulls in the multidb and query layers,
+which themselves import ``repro.obs.metrics``, and an eager import from
+the package initializer would cycle through ``storage.buffer``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Tuple
+
+from ..analysis.diagnostics import DiagnosticReport
+from ..multidb.federation import Adapter, Federation, FederationKernel, VirtualClass
+from ..query.ast import (
+    AdtPredicate,
+    And,
+    Comparison,
+    Expr,
+    MethodCall,
+    Not,
+    Or,
+    Query,
+)
+from .metrics import Counter, Gauge, Histogram
+
+Row = Dict[str, Any]
+
+#: view name -> (attributes, one-line description).  Row producers are
+#: the ``_rows_<name>`` methods on :class:`SystemViewsAdapter`.
+SYSTEM_VIEWS: Dict[str, Tuple[Tuple[str, ...], str]] = {
+    "SysStat": (
+        ("name", "kind", "value", "total", "mean"),
+        "every instrument in the metrics registry",
+    ),
+    "SysWaitEvent": (
+        (
+            "kind",
+            "target",
+            "count",
+            "total_wait",
+            "max_wait",
+            "avg_wait",
+            "last_txn",
+            "last_blocker",
+        ),
+        "aggregated wait events per (kind, target)",
+    ),
+    "SysLock": (
+        ("resource", "txn", "mode", "granted"),
+        "lock table snapshot: granted holds and blocked waiters",
+    ),
+    "SysTransaction": (
+        (
+            "txn",
+            "status",
+            "age",
+            "operations",
+            "locks_held",
+            "wait_count",
+            "wait_seconds",
+            "waiting_for",
+        ),
+        "active transactions with age, lock and wait totals",
+    ),
+    "SysSlowOp": (
+        ("name", "elapsed", "threshold", "target"),
+        "the tracer's slow-operation log",
+    ),
+    "SysOperator": (
+        ("position", "op", "detail", "rows_out", "elapsed"),
+        "operator pipeline of the last user query",
+    ),
+}
+
+
+class SystemViewsAdapter(Adapter):
+    """Federation adapter generating system rows from live engine state."""
+
+    def __init__(self, db) -> None:
+        self.db = db
+
+    def virtual_classes(self) -> List[VirtualClass]:
+        return [
+            VirtualClass(name, list(attrs))
+            for name, (attrs, _desc) in sorted(SYSTEM_VIEWS.items())
+        ]
+
+    def scan(self, class_name: str) -> Iterator[Row]:
+        producer: Callable[[], Iterator[Row]] = getattr(
+            self, "_rows_%s" % class_name.lower()
+        )
+        return producer()
+
+    # -- row producers (one fresh snapshot per scan) -----------------------
+
+    def _rows_sysstat(self) -> Iterator[Row]:
+        registry = self.db.metrics
+        for name in registry.names():
+            try:
+                metric = registry.get(name)
+            except Exception:
+                metric = None  # derived: computed value only
+            if isinstance(metric, Histogram):
+                count = metric.count
+                yield {
+                    "name": name,
+                    "kind": "histogram",
+                    "value": count,
+                    "total": metric.total,
+                    "mean": (metric.total / count) if count else None,
+                }
+            elif isinstance(metric, Counter):
+                yield {"name": name, "kind": "counter", "value": metric.value,
+                       "total": None, "mean": None}
+            elif isinstance(metric, Gauge):
+                yield {"name": name, "kind": "gauge", "value": metric.value,
+                       "total": None, "mean": None}
+            else:
+                yield {"name": name, "kind": "derived",
+                       "value": registry.value(name), "total": None, "mean": None}
+
+    def _rows_syswaitevent(self) -> Iterator[Row]:
+        return iter(self.db.waits.rows())
+
+    def _rows_syslock(self) -> Iterator[Row]:
+        return iter(self.db.locks.held_snapshot())
+
+    def _rows_systransaction(self) -> Iterator[Row]:
+        blocked = {
+            edge["waiter"]: edge["blocker"]
+            for edge in reversed(self.db.locks.waiting_edges())
+        }
+        for txn in self.db.txns.active_snapshot():
+            waits = self.db.waits.txn_waits(txn.txn_id)
+            yield {
+                "txn": txn.txn_id,
+                "status": txn.status,
+                "age": txn.age_seconds,
+                "operations": txn.operations,
+                "locks_held": len(self.db.locks.locks_held(txn.txn_id)),
+                "wait_count": waits["count"],
+                "wait_seconds": waits["seconds"],
+                "waiting_for": blocked.get(txn.txn_id),
+            }
+
+    def _rows_sysslowop(self) -> Iterator[Row]:
+        for op in self.db.tracer.slow_ops():
+            yield {
+                "name": op.name,
+                "elapsed": op.elapsed,
+                "threshold": op.threshold,
+                "target": op.tags.get("target"),
+            }
+
+    def _rows_sysoperator(self) -> Iterator[Row]:
+        for position, stats in enumerate(self.db.last_operator_stats or []):
+            yield {
+                "position": position,
+                "op": stats.get("op"),
+                "detail": stats.get("detail"),
+                "rows_out": stats.get("rows_out"),
+                "elapsed": stats.get("elapsed"),
+            }
+
+
+class SystemCatalog:
+    """Resolver + checker + executor hookup for system views.
+
+    Owned by the database; the planner consults :meth:`is_system` (duck
+    typed, no import) and emits a
+    :class:`~repro.query.planner.SystemScan`, which ``compile_plan``
+    lowers to a VirtualScanOp over :meth:`scan`.
+    """
+
+    def __init__(self, db) -> None:
+        self.db = db
+        self.federation = Federation()
+        self.federation.register("system", SystemViewsAdapter(db))
+
+    # -- catalog -----------------------------------------------------------
+
+    def is_system(self, name: str) -> bool:
+        return name in SYSTEM_VIEWS
+
+    def view_names(self) -> List[str]:
+        return sorted(SYSTEM_VIEWS)
+
+    def attributes(self, view: str) -> Tuple[str, ...]:
+        return SYSTEM_VIEWS[view][0]
+
+    def describe(self, view: str) -> str:
+        return SYSTEM_VIEWS[view][1]
+
+    def estimate_rows(self, view: str) -> float:
+        # Snapshots are tiny; a flat guess keeps plan() side-effect free
+        # (counting would run the producer, i.e. observe the observer).
+        return 16.0
+
+    # -- execution hookup --------------------------------------------------
+
+    def kernel(self, view: str) -> FederationKernel:
+        return FederationKernel(self.federation, view)
+
+    def scan(self, view: str) -> Iterator[Row]:
+        return self.federation.scan(view)
+
+    # -- semantic checking -------------------------------------------------
+
+    def check(self, query: Query, source: "str | None" = None) -> DiagnosticReport:
+        """Lightweight semantic gate replacing the schema analyzer.
+
+        System views are flat row sources: no hierarchy, no references,
+        no methods, no ADTs, no aggregates — everything else (filter,
+        order, limit, projection) behaves exactly as on classes.
+        """
+        report = DiagnosticReport(source)
+        attrs = set(self.attributes(query.target_class))
+        if query.aggregates or query.group_by is not None:
+            report.error(
+                "ANA602",
+                "aggregates and GROUP BY are not supported over system "
+                "views; query the raw rows and aggregate client-side",
+            )
+        for path in query.projections or []:
+            self._check_path(report, path, attrs)
+        if query.order_by is not None:
+            self._check_path(report, query.order_by, attrs)
+        if query.where is not None:
+            self._check_expr(report, query.where, attrs)
+        return report
+
+    def _check_path(self, report: DiagnosticReport, path, attrs) -> None:
+        span = getattr(path, "span", None)
+        if len(path.steps) != 1:
+            report.error(
+                "ANA603",
+                "system views have no references: path %s cannot navigate"
+                % path.dotted(),
+                span,
+            )
+            return
+        if path.steps[0] not in attrs:
+            report.error(
+                "ANA601",
+                "unknown system view attribute %r (has: %s)"
+                % (path.steps[0], ", ".join(sorted(attrs))),
+                span,
+            )
+
+    def _check_expr(self, report: DiagnosticReport, expr: Expr, attrs) -> None:
+        if isinstance(expr, Comparison):
+            self._check_path(report, expr.path, attrs)
+        elif isinstance(expr, (MethodCall, AdtPredicate)):
+            report.error(
+                "ANA603",
+                "system views support plain comparisons only, not %s"
+                % type(expr).__name__,
+                getattr(expr, "span", None),
+            )
+        elif isinstance(expr, (And, Or)):
+            for operand in expr.operands:
+                self._check_expr(report, operand, attrs)
+        elif isinstance(expr, Not):
+            self._check_expr(report, expr.operand, attrs)
+
+    def __repr__(self) -> str:
+        return "<SystemCatalog %d views>" % len(SYSTEM_VIEWS)

@@ -218,6 +218,17 @@ class Tracer:
                 )
                 self._slow_counter.inc()
 
+    def set_slow_threshold(self, threshold: Optional[float]) -> None:
+        """Enable, adjust or disable (None) the slow-op log at runtime.
+
+        Applies to spans finishing after the call; entries already in
+        the slow log are kept (their ``threshold`` records the value in
+        force when they were captured).
+        """
+        if threshold is not None and threshold < 0:
+            raise ValueError("slow threshold must be >= 0, got %r" % (threshold,))
+        self.slow_threshold = threshold
+
     # -- reading -------------------------------------------------------------
 
     def spans(self, name: Optional[str] = None) -> List[Span]:

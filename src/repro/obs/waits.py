@@ -1,0 +1,270 @@
+"""Wait-event profiler: where does the engine spend its blocked time?
+
+The OCB/VOODB benchmark line showed that credible OODB performance work
+needs engine-internal event accounting, and every mature database ships
+a wait interface (Oracle wait events, Postgres ``pg_stat_activity``,
+MySQL performance_schema).  This module is kimdb's: the lock manager,
+buffer pool, pager and WAL report every blocking episode as a typed
+:class:`WaitEvent` — kind, target, duration, owning transaction and
+(for lock waits) the blocking transaction.
+
+The profiler aggregates three ways:
+
+* globally per ``(kind, target)`` — the rows behind the ``SysWaitEvent``
+  system view ("which lock / page / log is hottest?");
+* per transaction — so ``SysTransaction`` can show how much of a txn's
+  life was spent waiting;
+* into the shared :class:`~repro.obs.metrics.MetricsRegistry` as
+  ``waits.<kind>.count`` counters and ``waits.<kind>.seconds``
+  histograms, so waits ride along in every snapshot and bench artifact.
+
+A bounded ring of the most recent events supports the monitor front
+end.  All durations are measured with ``time.perf_counter`` (see the
+clock convention in :mod:`repro.obs.export`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .metrics import MetricsRegistry, NULL_INSTRUMENT
+
+#: The wait-event taxonomy: every kind the engine emits, mapped to its
+#: emitting layer in DESIGN.md.  ``record()`` rejects kinds not listed
+#: here, so this tuple (and the DESIGN.md table) stays authoritative;
+#: adding a kind is one tuple entry — instruments are created lazily.
+WAIT_KINDS = (
+    "Lock",        # txn/locks.py — blocked lock acquisition
+    "BufferRead",  # storage/buffer.py — pool miss: parse a page from the pager
+    "BufferWrite", # storage/buffer.py — dirty eviction / explicit flush
+    "PageRead",    # storage/pager.py — raw file read (FilePager only)
+    "PageWrite",   # storage/pager.py — raw file write (FilePager only)
+    "WALFlush",    # txn/wal.py — commit-time log flush
+    "WALSync",     # txn/wal.py — commit-time fsync
+)
+
+
+def _metric_name(kind: str) -> str:
+    """``BufferRead`` -> ``buffer_read`` for registry metric names."""
+    out = []
+    for i, ch in enumerate(kind):
+        if ch.isupper() and i > 0:
+            out.append("_")
+        out.append(ch.lower())
+    return "".join(out)
+
+
+class WaitEvent:
+    """One blocking episode, as reported by an engine layer."""
+
+    __slots__ = ("kind", "target", "seconds", "txn_id", "blocker")
+
+    def __init__(
+        self,
+        kind: str,
+        target: Optional[str],
+        seconds: float,
+        txn_id: Optional[int] = None,
+        blocker: Optional[int] = None,
+    ) -> None:
+        self.kind = kind
+        self.target = target
+        self.seconds = seconds
+        self.txn_id = txn_id
+        self.blocker = blocker
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "target": self.target,
+            "seconds": self.seconds,
+            "txn": self.txn_id,
+            "blocker": self.blocker,
+        }
+
+    def __repr__(self) -> str:
+        who = " txn=%d" % self.txn_id if self.txn_id is not None else ""
+        by = " blocker=%d" % self.blocker if self.blocker is not None else ""
+        return "<WaitEvent %s %s %.6fs%s%s>" % (
+            self.kind,
+            self.target,
+            self.seconds,
+            who,
+            by,
+        )
+
+
+class WaitProfiler:
+    """Accumulates :class:`WaitEvent` reports from the engine layers.
+
+    Parameters
+    ----------
+    registry:
+        Optional shared :class:`MetricsRegistry`; when given, every kind
+        gets a ``waits.<kind>.count`` counter and ``waits.<kind>.seconds``
+        histogram there.
+    recent_capacity:
+        Ring-buffer size for raw recent events (monitor feed).
+    txn_capacity:
+        How many transactions' wait totals to retain; oldest-seen
+        transactions are evicted first so long-lived databases do not
+        leak per-txn state.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        recent_capacity: int = 256,
+        txn_capacity: int = 512,
+    ) -> None:
+        self.enabled = True
+        self.registry = registry
+        self.txn_capacity = txn_capacity
+        #: Provider for "whose wait is this?" when the reporting layer
+        #: has no transaction in hand (buffer/pager/WAL); the database
+        #: points this at its transaction manager's per-thread current.
+        self.current_txn: Callable[[], Optional[int]] = lambda: None
+        self._waits_mutex = threading.Lock()
+        #: (kind, target) -> [count, total_seconds, max_seconds,
+        #:                    last_txn, last_blocker]
+        self._aggregate: Dict[Tuple[str, Optional[str]], List[Any]] = {}
+        #: txn_id -> kind -> [count, total_seconds]  (insertion-ordered
+        #: for eviction).
+        self._by_txn: Dict[int, Dict[str, List[float]]] = {}
+        self._recent: "deque[WaitEvent]" = deque(maxlen=recent_capacity)
+        self._instruments: Dict[str, Tuple[Any, Any]] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def _kind_instruments(self, kind: str) -> Tuple[Any, Any]:
+        pair = self._instruments.get(kind)
+        if pair is None:
+            if self.registry is not None:
+                base = "waits.%s" % _metric_name(kind)
+                pair = (
+                    self.registry.counter(base + ".count"),
+                    self.registry.histogram(base + ".seconds"),
+                )
+            else:
+                pair = (NULL_INSTRUMENT, NULL_INSTRUMENT)
+            self._instruments[kind] = pair
+        return pair
+
+    def record(
+        self,
+        kind: str,
+        seconds: float,
+        target: Optional[str] = None,
+        txn_id: Optional[int] = None,
+        blocker: Optional[int] = None,
+    ) -> None:
+        """Report one blocking episode of ``seconds`` (perf_counter delta)."""
+        if kind not in WAIT_KINDS:
+            raise ValueError(
+                "unknown wait kind %r (known: %s)" % (kind, ", ".join(WAIT_KINDS))
+            )
+        if not self.enabled:
+            return
+        if txn_id is None:
+            txn_id = self.current_txn()
+        event = WaitEvent(kind, target, seconds, txn_id, blocker)
+        counter, histogram = self._kind_instruments(kind)
+        with self._waits_mutex:
+            row = self._aggregate.get((kind, target))
+            if row is None:
+                self._aggregate[(kind, target)] = [1, seconds, seconds, txn_id, blocker]
+            else:
+                row[0] += 1
+                row[1] += seconds
+                if seconds > row[2]:
+                    row[2] = seconds
+                if txn_id is not None:
+                    row[3] = txn_id
+                if blocker is not None:
+                    row[4] = blocker
+            if txn_id is not None:
+                per_txn = self._by_txn.get(txn_id)
+                if per_txn is None:
+                    while len(self._by_txn) >= self.txn_capacity:
+                        self._by_txn.pop(next(iter(self._by_txn)))
+                    per_txn = self._by_txn[txn_id] = {}
+                totals = per_txn.setdefault(kind, [0, 0.0])
+                totals[0] += 1
+                totals[1] += seconds
+            self._recent.append(event)
+        counter.inc()
+        histogram.observe(seconds)
+
+    # -- reading -------------------------------------------------------------
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Aggregate rows, one per (kind, target) — the ``SysWaitEvent``
+        extent.  Sorted by total wait, hottest first."""
+        with self._waits_mutex:
+            items = [
+                (kind, target, list(values))
+                for (kind, target), values in self._aggregate.items()
+            ]
+        out = []
+        for kind, target, (count, total, peak, last_txn, last_blocker) in items:
+            out.append(
+                {
+                    "kind": kind,
+                    "target": target,
+                    "count": count,
+                    "total_wait": total,
+                    "max_wait": peak,
+                    "avg_wait": total / count if count else 0.0,
+                    "last_txn": last_txn,
+                    "last_blocker": last_blocker,
+                }
+            )
+        out.sort(key=lambda row: row["total_wait"], reverse=True)
+        return out
+
+    def recent(self, limit: Optional[int] = None) -> List[WaitEvent]:
+        """Most recent raw events, newest last."""
+        with self._waits_mutex:
+            events = list(self._recent)
+        return events if limit is None else events[-limit:]
+
+    def txn_waits(self, txn_id: int) -> Dict[str, Any]:
+        """One transaction's accumulated waits: total and per-kind."""
+        with self._waits_mutex:
+            per_txn = {
+                kind: list(totals)
+                for kind, totals in self._by_txn.get(txn_id, {}).items()
+            }
+        count = sum(int(t[0]) for t in per_txn.values())
+        seconds = sum(t[1] for t in per_txn.values())
+        return {
+            "count": count,
+            "seconds": seconds,
+            "by_kind": {
+                kind: {"count": int(t[0]), "seconds": t[1]}
+                for kind, t in sorted(per_txn.items())
+            },
+        }
+
+    def total_wait_seconds(self) -> float:
+        with self._waits_mutex:
+            return sum(values[1] for values in self._aggregate.values())
+
+    def reset(self) -> None:
+        with self._waits_mutex:
+            self._aggregate.clear()
+            self._by_txn.clear()
+            self._recent.clear()
+
+    def __len__(self) -> int:
+        with self._waits_mutex:
+            return len(self._aggregate)
+
+    def __repr__(self) -> str:
+        return "<WaitProfiler %d targets, %.6fs total%s>" % (
+            len(self),
+            self.total_wait_seconds(),
+            "" if self.enabled else " (disabled)",
+        )

@@ -81,6 +81,9 @@ class ResultSet:
         self.pipeline = pipeline
         #: Annotated PlanNode root when executed under EXPLAIN ANALYZE.
         self.analysis = None
+        #: True for system statistics views (rows are generated dicts;
+        #: ``oids`` is empty and there is nothing to materialize).
+        self.system = False
 
     def operator_stats(self) -> List[Dict[str, Any]]:
         """Per-operator counters, leaf first (bench artifacts)."""
@@ -143,3 +146,33 @@ class Executor:
         self._m_matched.inc(pipeline.matched)
         self._m_probes.inc(pipeline.index_probes)
         return ResultSet(query, plan, oids, rows, ExecutionStats(pipeline), pipeline)
+
+    def execute_rows(
+        self, plan: Plan, kernel, scan: ScanClass, timed: bool = False
+    ) -> ResultSet:
+        """Run a plan whose rows are plain dicts (system views).
+
+        Same compile-and-drain path as :meth:`execute`, but over a
+        caller-supplied row kernel and scan callable instead of the
+        object kernel — this is how SysWaitEvent & co. flow through the
+        standard Volcano pipeline.  ``oids`` is always empty; ``rows``
+        holds the (possibly projected) dicts in result order.
+        """
+        pipeline = compile_plan(plan, kernel, scan)
+        if timed:
+            pipeline.set_timed()
+        query = plan.query
+        rows: List[Dict[str, Any]] = []
+        pipeline.open()
+        try:
+            if query.projections is not None:
+                rows = [projected for _row, projected in pipeline.rows()]
+            else:
+                rows = [row for row in pipeline.rows()]
+        finally:
+            pipeline.close()
+        self._m_examined.inc(pipeline.examined)
+        self._m_matched.inc(pipeline.matched)
+        result = ResultSet(query, plan, [], rows, ExecutionStats(pipeline), pipeline)
+        result.system = True
+        return result

@@ -121,6 +121,12 @@ class ObjectKernel:
     kernel) plus the storage-facing callables the executor owns.
     """
 
+    #: Object states have a deterministic fallback order (OID), so a
+    #: SortOp with ``steps=None`` is meaningful.  Row-dict kernels
+    #: (federation, system views) have no such tiebreaker and set False,
+    #: which makes ``compile_plan`` skip the implicit ordering sort.
+    has_default_order = True
+
     def __init__(
         self,
         deref: Deref,

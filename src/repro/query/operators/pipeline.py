@@ -21,9 +21,10 @@ from ..planner import (
     IndexOrderScan,
     IndexRangeProbe,
     Plan,
+    SystemScan,
 )
 from .base import PhysicalOperator
-from .leaves import ExtentScanOp, IndexOrderScanOp, IndexProbeOp
+from .leaves import ExtentScanOp, IndexOrderScanOp, IndexProbeOp, VirtualScanOp
 from .unary import (
     AggregateOp,
     DerefOp,
@@ -117,6 +118,10 @@ def compile_plan(plan: Plan, kernel, scan_class) -> Pipeline:
 
     if isinstance(access, ExtentScan):
         source: PhysicalOperator = ExtentScanOp(scan_class, access.classes)
+    elif isinstance(access, SystemScan):
+        # System views scan generated rows; ``scan_class`` here is the
+        # system catalog's row producer, not the storage extent walker.
+        source = VirtualScanOp(scan_class, access.view)
     elif isinstance(access, IndexEqProbe):
         probe = IndexProbeOp(
             "eq",
@@ -175,8 +180,9 @@ def compile_plan(plan: Plan, kernel, scan_class) -> Pipeline:
     sort_op: Optional[SortOp] = None
     if not isinstance(access, IndexOrderScan):
         steps = query.order_by.steps if query.order_by is not None else None
-        sort_op = SortOp(root, kernel, steps, query.descending, limit=query.limit)
-        root = sort_op
+        if steps is not None or getattr(kernel, "has_default_order", True):
+            sort_op = SortOp(root, kernel, steps, query.descending, limit=query.limit)
+            root = sort_op
 
     limit_op: Optional[LimitOp] = None
     if query.limit is not None:

@@ -12,6 +12,15 @@ Vehicle v`` restricts to direct instances.  Projections (``SELECT v.name,
 v.weight``), method predicates (``v.age() > 10``), ADT predicates
 (``overlaps(r.shape, [0, 0, 4, 4])``), ``ORDER BY`` and ``LIMIT`` are
 supported.
+
+A *shorthand* form drops the SELECT/FROM preamble for interactive use
+(system views especially)::
+
+    SysWaitEvent where kind = 'Lock' order by total_wait desc limit 10
+
+is parsed as ``SELECT it FROM SysWaitEvent it WHERE it.kind = ... ``:
+an implicit variable is bound and bare attribute paths resolve against
+it.
 """
 
 from __future__ import annotations
@@ -113,11 +122,16 @@ def _tokenize(text: str) -> List[_Token]:
 
 
 class _Parser:
+    #: Variable bound by the shorthand form (``Class where ...``).
+    IMPLICIT_VARIABLE = "it"
+
     def __init__(self, text: str) -> None:
         self.text = text
         self.tokens = _tokenize(text)
         self.index = 0
         self.variable: Optional[str] = None
+        #: Shorthand mode: bare paths resolve against the implicit variable.
+        self._implicit = False
         self._group_select_paths: List[Path] = []
         #: Span of the most recently parsed dotted name.
         self._dotted_span: Optional[SourceSpan] = None
@@ -157,6 +171,8 @@ class _Parser:
     # -- grammar ------------------------------------------------------------
 
     def parse(self) -> Query:
+        if self._peek().kind == "name":
+            return self._parse_shorthand()
         self._expect("kw", "select")
         select_items = self._parse_select_list()
         self._expect("kw", "from")
@@ -209,6 +225,49 @@ class _Parser:
             limit=limit,
             aggregates=aggregates,
             group_by=group_by,
+        )
+        query.span = SourceSpan(target_token.pos, target_token.end)
+        return query
+
+    def _parse_shorthand(self) -> Query:
+        """``Class [where ...] [order by ...] [limit N]`` — whole-object
+        select over the hierarchy, with an implicit variable."""
+        target_token = self._expect("name")
+        self.variable = self.IMPLICIT_VARIABLE
+        self._implicit = True
+
+        where: Optional[Expr] = None
+        if self._accept("kw", "where"):
+            where = self._parse_or()
+
+        order_by: Optional[Path] = None
+        descending = False
+        if self._accept("kw", "order"):
+            self._expect("kw", "by")
+            order_by = self._parse_path()
+            if self._accept("kw", "desc"):
+                descending = True
+            else:
+                self._accept("kw", "asc")
+
+        limit: Optional[int] = None
+        if self._accept("kw", "limit"):
+            limit = int(self._expect("int").text)
+            if limit < 0:
+                raise QuerySyntaxError("LIMIT must be non-negative")
+
+        self._expect("eof")
+        query = Query(
+            target_class=target_token.text,
+            variable=self.variable,
+            where=where,
+            hierarchy=True,
+            projections=None,
+            order_by=order_by,
+            descending=descending,
+            limit=limit,
+            aggregates=None,
+            group_by=None,
         )
         query.span = SourceSpan(target_token.pos, target_token.end)
         return query
@@ -332,6 +391,11 @@ class _Parser:
         parts = self._parse_dotted()
         span = self._dotted_span
         if parts[0] != self.variable:
+            if self._implicit:
+                # Shorthand: a bare path is relative to the implicit variable.
+                path = Path(parts)
+                path.span = span
+                return path
             raise QuerySyntaxError(
                 "path %r does not start with variable %r"
                 % (".".join(parts), self.variable),
@@ -362,14 +426,36 @@ class _Parser:
         start = token.pos
         # ADT predicate: name '(' path, literals ')'
         if token.text != self.variable:
-            return self._parse_adt_predicate()
+            if not self._implicit:
+                return self._parse_adt_predicate()
+            # Shorthand: only `name(` opens an ADT predicate; a bare
+            # name is a path off the implicit variable.
+            follower = self.tokens[self.index + 1]
+            if follower.kind == "punct" and follower.text == "(":
+                return self._parse_adt_predicate()
         parts = self._parse_dotted()
         path_span = self._dotted_span
         if self._accept("punct", "("):
+            if parts[0] != self.variable:
+                parts = [self.variable] + parts
             call = self._parse_method_call(parts)
             call.span = SourceSpan(start, self._prev_end())
             return call
-        if parts[0] != self.variable or len(parts) == 1:
+        if parts[0] != self.variable:
+            if self._implicit:
+                path = Path(parts)
+                path.span = path_span
+                comparison = self._parse_comparison_tail(path)
+                comparison.span = SourceSpan(start, self._prev_end())
+                return comparison
+            raise QuerySyntaxError(
+                "predicate path %r must start with %r"
+                % (".".join(parts), self.variable),
+                source=self.text,
+                pos=start,
+                width=len(path_span) if path_span else 1,
+            )
+        if len(parts) == 1:
             raise QuerySyntaxError(
                 "predicate path %r must start with %r"
                 % (".".join(parts), self.variable),

@@ -104,6 +104,19 @@ class IndexOrderScan(AccessPath):
         )
 
 
+class SystemScan(AccessPath):
+    """Scan one system statistics view (SysStat, SysWaitEvent, ...).
+
+    System views are virtual extents produced by the observability layer
+    (:mod:`repro.obs.sysviews`); there is nothing to index, so the only
+    access path is a full scan of the generated rows.
+    """
+
+    def __init__(self, view: str) -> None:
+        self.view = view
+        self.description = "system(%s)" % view
+
+
 class Plan:
     """An executable plan: access path + residual filter + finishing."""
 
@@ -159,15 +172,34 @@ class Planner:
         indexes: IndexManager,
         extent_count: ExtentCount,
         adt_registry=None,
+        system_catalog=None,
     ) -> None:
         self.schema = schema
         self.indexes = indexes
         self.extent_count = extent_count
         self.adt_registry = adt_registry
+        #: Optional :class:`~repro.obs.sysviews.SystemCatalog`; when a
+        #: query targets one of its views the planner short-circuits to a
+        #: SystemScan (duck-typed — no import, the obs layer already
+        #: imports the query layer).
+        self.system_catalog = system_catalog
 
     # -- public API --------------------------------------------------------
 
     def plan(self, query: Query, exclude_classes: Sequence[str] = ()) -> Plan:
+        # System statistics views bypass schema validation entirely: they
+        # are not classes, have no hierarchy, no extents and no indexes.
+        if self.system_catalog is not None and self.system_catalog.is_system(
+            query.target_class
+        ):
+            return Plan(
+                query,
+                {query.target_class},
+                SystemScan(query.target_class),
+                query.where,
+                float(self.system_catalog.estimate_rows(query.target_class)),
+                ["system view: observability rows, generated at open()"],
+            )
         scope = self._scope_of(query)
         # Class-hierarchy pruning facts from semantic analysis: subclasses
         # whose instances can never satisfy the predicate.  The target

@@ -9,11 +9,13 @@ by the clustering and traversal experiments (E4, E6).
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from typing import Dict, Iterator, Optional, Set
 
 from ..errors import StorageError
 from ..obs.metrics import MetricsRegistry
+from ..obs.waits import WaitProfiler
 from .page import SlottedPage
 
 
@@ -99,6 +101,7 @@ class BufferPool:
         pager,
         capacity: int = 256,
         registry: Optional[MetricsRegistry] = None,
+        waits: Optional[WaitProfiler] = None,
     ) -> None:
         if capacity < 1:
             raise StorageError("buffer capacity must be >= 1")
@@ -107,6 +110,7 @@ class BufferPool:
         self._frames: "OrderedDict[int, SlottedPage]" = OrderedDict()
         self._dirty: Set[int] = set()
         self.stats = BufferStats(registry)
+        self._waits = waits
 
     @property
     def page_size(self) -> int:
@@ -126,7 +130,16 @@ class BufferPool:
             self.stats._hits.inc()
             return frame
         self.stats._faults.inc()
-        frame = SlottedPage.from_bytes(self.pager.read_page(page_id))
+        if self._waits is None:
+            frame = SlottedPage.from_bytes(self.pager.read_page(page_id))
+        else:
+            started = time.perf_counter()
+            frame = SlottedPage.from_bytes(self.pager.read_page(page_id))
+            self._waits.record(
+                "BufferRead",
+                time.perf_counter() - started,
+                target="page:%d" % page_id,
+            )
         self._admit(page_id, frame)
         return frame
 
@@ -141,10 +154,23 @@ class BufferPool:
         self._frames[page_id] = frame
         self._frames.move_to_end(page_id)
 
+    def _write_back(self, page_id: int, frame: SlottedPage) -> None:
+        """Write a dirty frame through to the pager (timed as a wait)."""
+        if self._waits is None:
+            self.pager.write_page(page_id, frame.to_bytes())
+        else:
+            started = time.perf_counter()
+            self.pager.write_page(page_id, frame.to_bytes())
+            self._waits.record(
+                "BufferWrite",
+                time.perf_counter() - started,
+                target="page:%d" % page_id,
+            )
+
     def _evict_one(self) -> None:
         victim_id, victim = self._frames.popitem(last=False)
         if victim_id in self._dirty:
-            self.pager.write_page(victim_id, victim.to_bytes())
+            self._write_back(victim_id, victim)
             self._dirty.discard(victim_id)
             self.stats._flushes.inc()
         self.stats._evictions.inc()
@@ -152,7 +178,7 @@ class BufferPool:
     def flush_page(self, page_id: int) -> None:
         frame = self._frames.get(page_id)
         if frame is not None and page_id in self._dirty:
-            self.pager.write_page(page_id, frame.to_bytes())
+            self._write_back(page_id, frame)
             self._dirty.discard(page_id)
             self.stats._flushes.inc()
 

@@ -50,10 +50,11 @@ class StorageManager:
         page_size: int = DEFAULT_PAGE_SIZE,
         buffer_capacity: int = 256,
         registry: Optional[MetricsRegistry] = None,
+        waits=None,
     ) -> None:
         self.path = path
-        self.pager = open_pager(path, page_size, registry)
-        self.buffer = BufferPool(self.pager, buffer_capacity, registry)
+        self.pager = open_pager(path, page_size, registry, waits)
+        self.buffer = BufferPool(self.pager, buffer_capacity, registry, waits)
         self.directory = ObjectDirectory()
         self._heaps: Dict[str, HeapFile] = {}
         self._sticky_extra: Dict[str, Any] = {}

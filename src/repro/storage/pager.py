@@ -10,10 +10,12 @@ deterministic I/O costs alongside wall-clock times.
 from __future__ import annotations
 
 import os
+import time
 from typing import Dict, Optional
 
 from ..errors import StorageError
 from ..obs.metrics import MetricsRegistry
+from ..obs.waits import WaitProfiler
 
 #: Default page size.  4 KiB matches the historical systems the paper
 #: discusses and keeps fault counts meaningful at laptop scale.
@@ -143,12 +145,14 @@ class FilePager:
         path: str,
         page_size: int = DEFAULT_PAGE_SIZE,
         registry: Optional[MetricsRegistry] = None,
+        waits: Optional[WaitProfiler] = None,
     ) -> None:
         if page_size < 128:
             raise StorageError("page size %d is too small" % page_size)
         self.path = path
         self.page_size = page_size
         self.stats = PagerStats(registry)
+        self._waits = waits
         exists = os.path.exists(path) and os.path.getsize(path) >= self.HEADER_SIZE
         mode = "r+b" if exists else "w+b"
         self._file = open(path, mode)
@@ -196,11 +200,18 @@ class FilePager:
     def read_page(self, page_id: int) -> bytes:
         if not 0 <= page_id < self._next_id:
             raise StorageError("page %d does not exist" % page_id)
+        started = time.perf_counter() if self._waits is not None else 0.0
         self._file.seek(self._offset(page_id))
         data = self._file.read(self.page_size)
         if len(data) != self.page_size:
             raise StorageError("short read on page %d of %s" % (page_id, self.path))
         self.stats._reads.inc()
+        if self._waits is not None:
+            self._waits.record(
+                "PageRead",
+                time.perf_counter() - started,
+                target="page:%d" % page_id,
+            )
         return data
 
     def write_page(self, page_id: int, data: bytes) -> None:
@@ -211,9 +222,16 @@ class FilePager:
                 "page write of %d bytes does not match page size %d"
                 % (len(data), self.page_size)
             )
+        started = time.perf_counter() if self._waits is not None else 0.0
         self._file.seek(self._offset(page_id))
         self._file.write(data)
         self.stats._writes.inc()
+        if self._waits is not None:
+            self._waits.record(
+                "PageWrite",
+                time.perf_counter() - started,
+                target="page:%d" % page_id,
+            )
 
     def sync(self) -> None:
         self._file.flush()
@@ -235,8 +253,13 @@ def open_pager(
     path: Optional[str],
     page_size: int = DEFAULT_PAGE_SIZE,
     registry: Optional[MetricsRegistry] = None,
+    waits: Optional[WaitProfiler] = None,
 ):
-    """Factory: memory pager when ``path`` is None, file pager otherwise."""
+    """Factory: memory pager when ``path`` is None, file pager otherwise.
+
+    Only the file pager reports ``PageRead``/``PageWrite`` wait events —
+    a memory pager's dict lookup is not a wait.
+    """
     if path is None:
         return MemoryPager(page_size, registry)
-    return FilePager(path, page_size, registry)
+    return FilePager(path, page_size, registry, waits)

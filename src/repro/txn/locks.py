@@ -18,10 +18,11 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
 
 from ..errors import DeadlockError, LockTimeoutError, TransactionError
 from ..obs.metrics import MetricsRegistry
+from ..obs.waits import WaitProfiler
 
 #: Lock modes, weakest to strongest (SIX = shared + intention exclusive).
 IS, IX, S, SIX, X = "IS", "IX", "S", "SIX", "X"
@@ -74,6 +75,15 @@ def class_resource(class_name: str) -> Resource:
 
 def object_resource(oid) -> Resource:
     return ("object", oid)
+
+
+def resource_label(resource: Resource) -> str:
+    """Human/queryable label for a resource: ``class:Vehicle``,
+    ``object:123``, ``database``."""
+    level, key = resource
+    if key is None:
+        return level
+    return "%s:%s" % (level, key)
 
 
 def compatible(held: str, requested: str) -> bool:
@@ -141,7 +151,11 @@ class LockStats:
 class LockManager:
     """Mode-compatible, deadlock-detecting lock table."""
 
-    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        waits: Optional[WaitProfiler] = None,
+    ) -> None:
         self._mutex = threading.Lock()
         self._condition = threading.Condition(self._mutex)
         #: resource -> {txn_id: mode}
@@ -151,6 +165,7 @@ class LockManager:
         #: txn_id -> (resource, mode) it is currently waiting for
         self._waiting: Dict[int, Tuple[Resource, str]] = {}
         self.stats = LockStats(registry)
+        self.waits = waits
 
     # -- acquisition -----------------------------------------------------------
 
@@ -167,6 +182,7 @@ class LockManager:
         with self._condition:
             deadline = None
             wait_started = None
+            first_blocker = None
             while True:
                 current = self._held.get(resource, {}).get(txn_id)
                 if current is not None:
@@ -181,36 +197,73 @@ class LockManager:
                     self._by_txn.setdefault(txn_id, set()).add(resource)
                     self._waiting.pop(txn_id, None)
                     self.stats._acquisitions.inc()
-                    if wait_started is not None:
-                        self.stats.wait_seconds.observe(time.monotonic() - wait_started)
+                    self._record_wait(txn_id, resource, wait_started, first_blocker)
                     return
                 # Must wait: record the edge, check for deadlock.
                 self._waiting[txn_id] = (resource, mode)
                 if self._creates_deadlock(txn_id):
                     self._waiting.pop(txn_id, None)
                     self.stats._deadlocks.inc()
-                    if wait_started is not None:
-                        self.stats.wait_seconds.observe(time.monotonic() - wait_started)
+                    self._record_wait(txn_id, resource, wait_started, first_blocker)
                     raise DeadlockError(
                         "transaction %d aborted: lock on %r would deadlock"
                         % (txn_id, resource)
                     )
                 self.stats._blocks.inc()
                 if wait_started is None:
-                    wait_started = time.monotonic()
+                    wait_started = time.perf_counter()
+                    blockers = self._blockers(txn_id, resource, mode)
+                    first_blocker = min(blockers) if blockers else None
                 if timeout is not None:
                     if deadline is None:
-                        deadline = time.monotonic() + timeout
-                    remaining = deadline - time.monotonic()
+                        deadline = time.perf_counter() + timeout
+                    remaining = deadline - time.perf_counter()
                     if remaining <= 0 or not self._condition.wait(remaining):
                         self._waiting.pop(txn_id, None)
-                        self.stats.wait_seconds.observe(time.monotonic() - wait_started)
+                        self._record_wait(txn_id, resource, wait_started, first_blocker)
                         raise LockTimeoutError(
                             "transaction %d timed out waiting for %r %s"
                             % (txn_id, resource, mode)
                         )
                 else:
                     self._condition.wait()
+
+    def _record_wait(
+        self,
+        txn_id: int,
+        resource: Resource,
+        wait_started: Optional[float],
+        blocker: Optional[int],
+    ) -> None:
+        """Close out a blocked acquisition: histogram + wait event.
+
+        Called with ``_condition`` held; the profiler's own mutex sits
+        above it in the declared lattice.  No-op when the acquisition
+        was granted immediately (``wait_started`` is None).
+        """
+        if wait_started is None:
+            return
+        waited = time.perf_counter() - wait_started
+        self.stats.wait_seconds.observe(waited)
+        if self.waits is not None:
+            self.waits.record(
+                "Lock",
+                waited,
+                target=resource_label(resource),
+                txn_id=txn_id,
+                blocker=blocker,
+            )
+
+    def _blockers(self, txn_id: int, resource: Resource, mode: str) -> Set[int]:
+        """Holders whose mode is incompatible with the request.
+
+        Caller holds ``_condition``.
+        """
+        return {
+            holder
+            for holder, held_mode in self._held.get(resource, {}).items()
+            if holder != txn_id and not compatible(held_mode, mode)
+        }
 
     def _grantable(self, txn_id: int, resource: Resource, mode: str) -> bool:
         holders = self._held.get(resource, {})
@@ -235,11 +288,7 @@ class LockManager:
             if waiting_for is None:
                 return set()
             resource, mode = waiting_for
-            blocked_by = set()
-            for holder, held_mode in self._held.get(resource, {}).items():
-                if holder != txn and not compatible(held_mode, mode):
-                    blocked_by.add(holder)
-            return blocked_by
+            return self._blockers(txn, resource, mode)
 
         visited: Set[int] = set()
         stack = list(blockers_of(start_txn))
@@ -313,3 +362,48 @@ class LockManager:
     def lock_count(self) -> int:
         with self._mutex:
             return sum(len(holders) for holders in self._held.values())
+
+    def waiting_edges(self) -> List[Dict[str, Any]]:
+        """Live waits-for edges: one row per (waiter, blocker) pair.
+
+        The edge set the deadlock detector walks, exposed for the
+        ``SysLock``/``SysTransaction`` views and the monitor.
+        """
+        with self._mutex:
+            edges = []
+            for waiter, (resource, mode) in sorted(self._waiting.items()):
+                for blocker in sorted(self._blockers(waiter, resource, mode)):
+                    edges.append(
+                        {
+                            "waiter": waiter,
+                            "blocker": blocker,
+                            "resource": resource_label(resource),
+                            "mode": mode,
+                        }
+                    )
+            return edges
+
+    def held_snapshot(self) -> List[Dict[str, Any]]:
+        """Every lock-table entry: granted holds plus pending requests."""
+        with self._mutex:
+            rows = []
+            for resource in sorted(self._held, key=resource_label):
+                for txn_id, mode in sorted(self._held[resource].items()):
+                    rows.append(
+                        {
+                            "resource": resource_label(resource),
+                            "txn": txn_id,
+                            "mode": mode,
+                            "granted": True,
+                        }
+                    )
+            for waiter, (resource, mode) in sorted(self._waiting.items()):
+                rows.append(
+                    {
+                        "resource": resource_label(resource),
+                        "txn": waiter,
+                        "mode": mode,
+                        "granted": False,
+                    }
+                )
+            return rows

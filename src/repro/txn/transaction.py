@@ -10,9 +10,11 @@ them newest-first, then both paths release all locks.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, Dict, List, Optional
 
 from ..errors import TransactionError
+from ..obs.metrics import MetricsRegistry, NULL_INSTRUMENT
 from .locks import LockManager
 from .wal import WriteAheadLog
 
@@ -28,6 +30,10 @@ class Transaction:
         self.txn_id = txn_id
         self._manager = manager
         self.status = ACTIVE
+        #: Wall-clock begin timestamp (display only; ages use the
+        #: perf_counter twin below per the obs clock convention).
+        self.started_at = time.time()  # lint: ignore[wall-clock-duration]
+        self._started_clock = time.perf_counter()
         self._undo_actions: List[Callable[[], None]] = []
         #: Mutation count, for tests and the WAL experiment.
         self.operations = 0
@@ -42,6 +48,11 @@ class Transaction:
     @property
     def is_active(self) -> bool:
         return self.status == ACTIVE
+
+    @property
+    def age_seconds(self) -> float:
+        """Seconds since begin (perf_counter-based)."""
+        return time.perf_counter() - self._started_clock
 
     def _require_active(self) -> None:
         if self.status != ACTIVE:
@@ -90,7 +101,12 @@ class TransactionManager:
     current transaction so the database can autocommit single operations.
     """
 
-    def __init__(self, wal: WriteAheadLog, locks: LockManager) -> None:
+    def __init__(
+        self,
+        wal: WriteAheadLog,
+        locks: LockManager,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.wal = wal
         self.locks = locks
         self._next_id = 1
@@ -99,6 +115,14 @@ class TransactionManager:
         self._current = threading.local()
         self.committed_count = 0
         self.aborted_count = 0
+        if registry is not None:
+            self._m_active = registry.gauge("txn.active")
+            self._m_commits = registry.counter("txn.commits")
+            self._m_aborts = registry.counter("txn.aborts")
+        else:
+            self._m_active = NULL_INSTRUMENT
+            self._m_commits = NULL_INSTRUMENT
+            self._m_aborts = NULL_INSTRUMENT
 
     # -- current-transaction tracking ---------------------------------------
 
@@ -121,6 +145,7 @@ class TransactionManager:
             self._next_id += 1
         txn = Transaction(txn_id, self)
         self._active[txn_id] = txn
+        self._m_active.set(len(self._active))
         self._current.txn = txn
         self.wal.log_begin(txn_id)
         return txn
@@ -131,6 +156,7 @@ class TransactionManager:
         txn.status = COMMITTED
         self._finish(txn)
         self.committed_count += 1
+        self._m_commits.inc()
 
     def abort(self, txn: Transaction) -> None:
         txn._require_active()
@@ -141,10 +167,12 @@ class TransactionManager:
         txn.status = ABORTED
         self._finish(txn)
         self.aborted_count += 1
+        self._m_aborts.inc()
 
     def _finish(self, txn: Transaction) -> None:
         self.locks.release_all(txn.txn_id)
         self._active.pop(txn.txn_id, None)
+        self._m_active.set(len(self._active))
         if getattr(self._current, "txn", None) is txn:
             self._current.txn = None
 
@@ -152,6 +180,10 @@ class TransactionManager:
 
     def active_transactions(self) -> List[int]:
         return sorted(self._active)
+
+    def active_snapshot(self) -> List[Transaction]:
+        """The live :class:`Transaction` objects, id order (SysTransaction)."""
+        return [self._active[txn_id] for txn_id in sorted(self._active)]
 
     def abort_all_active(self) -> None:
         """Abort every in-flight transaction (shutdown path)."""

@@ -12,12 +12,14 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
 from typing import Iterator, List, Optional
 
 from ..core.obj import ObjectState
 from ..errors import RecoveryError
 from ..obs.metrics import MetricsRegistry
+from ..obs.waits import WaitProfiler
 from ..storage.serializer import decode_object, encode_object
 
 # Record types.
@@ -106,9 +108,11 @@ class WriteAheadLog:
         path: Optional[str] = None,
         sync_on_commit: bool = True,
         registry: Optional[MetricsRegistry] = None,
+        waits: Optional[WaitProfiler] = None,
     ) -> None:
         self.path = path
         self.sync_on_commit = sync_on_commit
+        self._waits = waits
         self._records: List[LogRecord] = []  # memory mode only
         self._next_lsn = 0
         self._file = None
@@ -148,11 +152,27 @@ class WriteAheadLog:
             self._file.write(frame + payload)
             self._append_bytes.inc(_FRAME.size + len(payload))
             if record.record_type == COMMIT:
+                started = time.perf_counter() if self._waits is not None else 0.0
                 self._file.flush()
                 self._flushes.inc()
+                if self._waits is not None:
+                    self._waits.record(
+                        "WALFlush",
+                        time.perf_counter() - started,
+                        target=self.path,
+                        txn_id=record.txn_id,
+                    )
                 if self.sync_on_commit:
+                    started = time.perf_counter() if self._waits is not None else 0.0
                     os.fsync(self._file.fileno())
                     self._syncs.inc()
+                    if self._waits is not None:
+                        self._waits.record(
+                            "WALSync",
+                            time.perf_counter() - started,
+                            target=self.path,
+                            txn_id=record.txn_id,
+                        )
         return record.lsn
 
     def log_begin(self, txn_id: int) -> None:

@@ -373,13 +373,15 @@ def f(tracer):
 """
         assert lint(source) == []
 
-    def test_stdlib_time_time_not_flagged(self):
+    def test_stdlib_time_time_not_flagged_as_resource(self):
+        # time.time() is not a histogram timer: the resource rule stays
+        # quiet; only the wall-clock rule fires.
         source = """
 import time
 def f():
     return time.time()
 """
-        assert lint(source) == []
+        assert [v.rule for v in lint(source)] == ["wall-clock-duration"]
 
     def test_begin_without_commit_fires(self):
         source = """
@@ -523,6 +525,44 @@ def f():
     def test_pragma_for_other_rule_does_not_silence(self):
         source = "def f(x=[]):  # lint: ignore[bare-except]\n    pass\n"
         assert [v.rule for v in lint(source)] == ["mutable-default"]
+
+
+class TestWallClockRule:
+    def test_time_time_flagged(self):
+        source = """
+import time
+def f():
+    started = time.time()
+    return time.time() - started
+"""
+        violations = lint(source)
+        assert [v.rule for v in violations] == ["wall-clock-duration"] * 2
+        assert "perf_counter" in violations[0].message
+
+    def test_perf_counter_and_monotonic_clean(self):
+        source = """
+import time
+def f():
+    return time.perf_counter() + time.monotonic()
+"""
+        assert lint(source) == []
+
+    def test_pragma_marks_genuine_timestamp(self):
+        source = """
+import time
+def f():
+    return {"generated_at": time.time()}  # lint: ignore[wall-clock-duration]
+"""
+        assert lint(source) == []
+
+    def test_other_modules_time_attribute_not_flagged(self):
+        # Only the stdlib wall clock is the hazard; foo.time() is not
+        # (though the resource rule may still see an unentered timer).
+        source = """
+def f(stopwatch):
+    return stopwatch.time()
+"""
+        assert "wall-clock-duration" not in [v.rule for v in lint(source)]
 
 
 class TestLintGate:

@@ -172,6 +172,40 @@ class TestTracer:
         assert reg.value("trace.spans") == 1
         assert reg.value("trace.slow_ops") == 1
 
+    def test_slow_log_is_bounded_oldest_evicted(self):
+        tracer = Tracer(slow_threshold=0.0, slow_capacity=4)
+        for i in range(10):
+            with tracer.span("op%d" % i):
+                pass
+        slow = tracer.slow_ops()
+        assert [op.name for op in slow] == ["op%d" % i for i in range(6, 10)]
+
+    def test_slow_ops_capture_in_finish_order(self):
+        # A slow child finishes (and is captured) before its slow parent,
+        # matching the ring buffer's child-before-parent ordering.
+        tracer = Tracer(slow_threshold=0.0)
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                pass
+        assert [op.name for op in tracer.slow_ops()] == ["child", "parent"]
+        assert [s.name for s in tracer.spans()] == ["child", "parent"]
+
+    def test_set_slow_threshold_at_runtime(self):
+        ticks = iter([0.0, 1.0, 2.0, 3.0, 4.0, 4.5])
+        tracer = Tracer(clock=lambda: next(ticks))
+        with tracer.span("before"):
+            pass  # no threshold yet: not captured
+        tracer.set_slow_threshold(0.9)
+        with tracer.span("after"):
+            pass  # 1.0s >= 0.9: captured
+        tracer.set_slow_threshold(None)
+        with tracer.span("disabled"):
+            pass
+        assert [op.name for op in tracer.slow_ops()] == ["after"]
+        assert tracer.slow_ops()[0].threshold == 0.9
+        with pytest.raises(ValueError):
+            tracer.set_slow_threshold(-0.1)
+
     def test_disabled_tracer_yields_none(self):
         tracer = Tracer()
         tracer.enabled = False
