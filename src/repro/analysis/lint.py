@@ -147,6 +147,9 @@ ENGINE_LOCK_LATTICE: Dict[str, int] = {
     # manager records wait events while holding _condition, never the
     # reverse.
     "_waits_mutex": 30,
+    # The fault injector's mutex is innermost of all: it guards the undo
+    # log of a single proxied file handle and calls nothing that locks.
+    "_fault_mutex": 40,
 }
 
 

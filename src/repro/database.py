@@ -136,7 +136,15 @@ class Database:
             sync_on_commit=sync_on_commit,
             registry=self.metrics,
             waits=self.waits,
+            tracer=self.tracer,
         )
+        # Torn-page protection: the buffer pool logs a durable full-page
+        # image into the WAL before every dirty page write-back, so
+        # recovery can re-image a page whose write a crash tore.
+        if path is not None:
+            self.storage.buffer.attach_page_image_log(
+                self.wal.log_page_image, self.wal.sync
+            )
         self.txns = TransactionManager(self.wal, self.locks, registry=self.metrics)
         self.waits.current_txn = self._current_txn_id
         self.clustering = clustering or NoClustering()
@@ -212,7 +220,7 @@ class Database:
                 system_catalog=self.syscat,
             )
         if recover_on_open:
-            _recover(self.wal, self.storage)
+            _recover(self.wal, self.storage, registry=self.metrics)
         self._oids.advance_past(self.storage.directory.max_oid_value())
 
     def checkpoint(self) -> None:

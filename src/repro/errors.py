@@ -147,6 +147,18 @@ class PageFullError(StorageError):
     """A record does not fit into any slot of the target page."""
 
 
+class PageCorruptError(StorageError):
+    """A page's stored CRC does not match its contents (torn/bit-rotted).
+
+    ``page_id`` names the damaged page when the reader knows it; recovery
+    uses it to re-image the page from WAL full-page data.
+    """
+
+    def __init__(self, message, page_id=None):
+        super().__init__(message)
+        self.page_id = page_id
+
+
 class AuthorizationError(KimDBError):
     """The subject lacks the required privilege."""
 

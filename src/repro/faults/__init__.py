@@ -1,0 +1,38 @@
+"""Deterministic fault injection for the storage and WAL layers.
+
+Failure is an *input* to a database engine, not an accident.  This
+package makes it a reproducible one: a :class:`FaultPlan` seeded with a
+single integer wraps every file handle the pager and the write-ahead log
+open in a :class:`FaultyFile` proxy that can
+
+- crash hard at the Nth I/O operation (raising :class:`InjectedCrash`),
+- tear the crashing write (persist only a prefix of its bytes),
+- drop unsynced writes at the crash point, the way a volatile disk
+  cache loses its contents on power failure,
+- lie on fsync (report success without making anything durable), and
+- throw transient ``OSError``\\ s on reads and writes.
+
+The engine opts in with one call — :func:`wrap_file` returns the handle
+unchanged when no plan is installed, so production code pays nothing.
+``tests/test_fault_torture.py`` drives the random workload of the crash
+torture suite through a matrix of seeded crash points and asserts exact
+committed-state equivalence after recovery.
+"""
+
+from .injector import (
+    FaultPlan,
+    FaultyFile,
+    InjectedCrash,
+    active_plan,
+    fsync_file,
+    wrap_file,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultyFile",
+    "InjectedCrash",
+    "active_plan",
+    "fsync_file",
+    "wrap_file",
+]

@@ -1,0 +1,371 @@
+"""The fault injector: seeded plans and the file proxy that executes them.
+
+**Crash model.**  Every write through a :class:`FaultyFile` is applied
+to the real file immediately (write-through) and recorded in an undo
+log; an honest fsync clears the log.  When the plan's crash point fires,
+the injector rewinds each file to a *prefix* of its unsynced writes —
+the survivors — and may apply only a prefix of the crashing write's
+bytes (a torn write).  This is the SQLite TCL crash-harness model: the
+OS/disk cache persists some ordered prefix of what was never synced,
+and the final sector in flight may tear.  A lying fsync simply refuses
+to clear the undo log, so "durable" bytes stay droppable — exactly what
+hardware that acknowledges flushes it never performed does to you.
+
+After the crash fires, reads, writes and fsyncs on every wrapped file
+raise :class:`InjectedCrash` (the process is dead); ``flush`` and
+``close`` become no-ops so garbage collection stays quiet, like the OS
+reclaiming a dead process's descriptors.
+
+All randomness comes from one ``random.Random(seed)`` drawn in I/O
+order, so a failing torture seed replays exactly.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+import threading
+from typing import Any, List, Optional
+
+from ..obs.metrics import MetricsRegistry
+
+
+class InjectedCrash(BaseException):
+    """A simulated hard crash (power loss) at an injected fault point.
+
+    Deliberately a ``BaseException``: ordinary ``except Exception``
+    cleanup handlers must not swallow it, because a real power failure
+    gives no handler the chance to run either.
+    """
+
+
+class _WriteEntry:
+    """One unsynced write: where it went and what it replaced."""
+
+    __slots__ = ("offset", "old", "new_len", "pre_size")
+
+    def __init__(self, offset: int, old: bytes, new_len: int, pre_size: int) -> None:
+        self.offset = offset
+        self.old = old
+        self.new_len = new_len
+        self.pre_size = pre_size
+
+
+class FaultPlan:
+    """A deterministic schedule of injected failures.
+
+    Parameters
+    ----------
+    seed:
+        The single integer every random decision derives from.
+    crash_after:
+        Crash on the Nth counted I/O operation (writes and fsyncs
+        through wrapped files).  None disables crashing.
+    torn_writes:
+        Allow the crashing write to persist a random prefix of its
+        bytes.  When False the crashing write is dropped whole.
+    lying_fsync_rate:
+        Probability that an fsync reports success without durability
+        (its file's unsynced writes stay droppable at the crash).
+    os_error_rate:
+        Probability that a read or write raises a transient
+        ``OSError(EIO)`` instead of executing.
+    os_error_budget:
+        Hard cap on injected transient errors, so a workload always
+        makes progress.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        crash_after: Optional[int] = None,
+        torn_writes: bool = True,
+        lying_fsync_rate: float = 0.0,
+        os_error_rate: float = 0.0,
+        os_error_budget: int = 3,
+    ) -> None:
+        self.seed = seed
+        self.crash_after = crash_after
+        self.torn_writes = torn_writes
+        self.lying_fsync_rate = lying_fsync_rate
+        self.os_error_rate = os_error_rate
+        self.os_error_budget = os_error_budget
+        self.rng = random.Random(seed)
+        self.io_ops = 0
+        self.crashed = False
+        self.files: List["FaultyFile"] = []
+        self._fault_mutex = threading.Lock()
+
+    # -- installation ------------------------------------------------------
+
+    def install(self) -> "FaultPlan":
+        """Make this the active plan (usable as a context manager)."""
+        _ACTIVE.append(self)
+        return self
+
+    def uninstall(self) -> None:
+        if self in _ACTIVE:
+            _ACTIVE.remove(self)
+
+    def __enter__(self) -> "FaultPlan":
+        if self not in _ACTIVE:
+            self.install()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.uninstall()
+
+    def wrap(
+        self, handle: Any, label: str, registry: Optional[MetricsRegistry] = None
+    ) -> "FaultyFile":
+        proxy = FaultyFile(handle, label, self, registry)
+        self.files.append(proxy)
+        return proxy
+
+    # -- decisions (called by FaultyFile under the mutex) ------------------
+
+    def _count_op(self) -> bool:
+        """Advance the I/O clock; True when this op is the crash point."""
+        self.io_ops += 1
+        return self.crash_after is not None and self.io_ops >= self.crash_after
+
+    def _transient_error(self) -> bool:
+        if self.os_error_budget <= 0 or self.os_error_rate <= 0.0:
+            return False
+        if self.rng.random() >= self.os_error_rate:
+            return False
+        self.os_error_budget -= 1
+        return True
+
+    def _crash(self, crashing: Optional["FaultyFile"], data: Optional[bytes]) -> None:
+        """Execute the crash: rewind unsynced state, then raise."""
+        self.crashed = True
+        for proxy in self.files:
+            proxy._rewind_unsynced(self.rng)
+        if (
+            crashing is not None
+            and data
+            and self.torn_writes
+            and not crashing._dropped_writes_at_crash
+        ):
+            # The in-flight write tears only when every earlier write of
+            # its file survived — a disk persists its cache in order.
+            keep = self.rng.randrange(len(data))
+            if keep:
+                crashing._apply_torn_prefix(data[:keep])
+        raise InjectedCrash(
+            "injected crash at io op %d (seed %d)" % (self.io_ops, self.seed)
+        )
+
+    def __repr__(self) -> str:
+        return "<FaultPlan seed=%d ops=%d%s>" % (
+            self.seed,
+            self.io_ops,
+            " CRASHED" if self.crashed else "",
+        )
+
+
+#: Installed plans, innermost last.  A stack so nested test fixtures
+#: compose; :func:`active_plan` returns the top.
+_ACTIVE: List[FaultPlan] = []
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently installed plan, or None."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+def wrap_file(
+    handle: Any, label: str, registry: Optional[MetricsRegistry] = None
+) -> Any:
+    """Wrap ``handle`` in the active plan's proxy, or return it unchanged.
+
+    The single hook the engine calls wherever the pager or the WAL opens
+    a file.  With no plan installed this is an attribute read and a
+    ``return`` — fault injection costs nothing unless armed.
+    """
+    plan = active_plan()
+    if plan is None:
+        return handle
+    return plan.wrap(handle, label, registry)
+
+
+def fsync_file(handle: Any) -> None:
+    """fsync through the proxy when present, else the real thing.
+
+    ``os.fsync(handle.fileno())`` would bypass the proxy entirely — the
+    file descriptor is real — so durability points must route through
+    this helper for lying-fsync injection to see them.
+    """
+    if isinstance(handle, FaultyFile):
+        handle.fsync()
+    else:
+        os.fsync(handle.fileno())
+
+
+class FaultyFile:
+    """A file-object proxy that executes the active :class:`FaultPlan`.
+
+    Supports the slice of the file protocol the pager and WAL use:
+    ``write``/``read``/``seek``/``tell``/``flush``/``close``/``fileno``
+    plus an explicit :meth:`fsync` durability point.
+    """
+
+    def __init__(
+        self,
+        handle: Any,
+        label: str,
+        plan: FaultPlan,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self._file = handle
+        self.label = label
+        self.plan = plan
+        self._appending = "a" in getattr(handle, "mode", "")
+        self._readable = handle.readable()
+        self._unsynced: List[_WriteEntry] = []
+        self._dropped_writes_at_crash = False
+        registry = registry if registry is not None else MetricsRegistry()
+        self._m_ops = registry.counter("fault.io_ops")
+        self._m_torn = registry.counter("fault.torn_writes")
+        self._m_dropped = registry.counter("fault.dropped_writes")
+        self._m_lying = registry.counter("fault.lying_fsyncs")
+        self._m_errors = registry.counter("fault.os_errors")
+        self._m_crashes = registry.counter("fault.crashes")
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._file.closed
+
+    @property
+    def name(self) -> str:
+        return getattr(self._file, "name", self.label)
+
+    def fileno(self) -> int:
+        return self._file.fileno()
+
+    def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:
+        return self._file.seek(offset, whence)
+
+    def tell(self) -> int:
+        return self._file.tell()
+
+    def readable(self) -> bool:
+        return self._readable
+
+    # -- faulted operations ------------------------------------------------
+
+    def _check_dead(self) -> None:
+        if self.plan.crashed:
+            raise InjectedCrash(
+                "I/O on %s after injected crash (seed %d)"
+                % (self.label, self.plan.seed)
+            )
+
+    def read(self, size: int = -1) -> bytes:
+        with self.plan._fault_mutex:
+            self._check_dead()
+            if self.plan._transient_error():
+                self._m_errors.inc()
+                raise OSError(errno.EIO, "injected transient read error", self.label)
+        return self._file.read(size)
+
+    def write(self, data: bytes) -> int:
+        with self.plan._fault_mutex:
+            self._check_dead()
+            if self.plan._transient_error():
+                self._m_errors.inc()
+                raise OSError(errno.EIO, "injected transient write error", self.label)
+            self._m_ops.inc()
+            if self.plan._count_op():
+                self._m_crashes.inc()
+                self.plan._crash(self, bytes(data))
+            self._record_undo(data)
+            written = self._file.write(data)
+            # Write-through: push python's userspace buffer to the OS so
+            # the undo log's byte accounting matches the real file.
+            self._file.flush()
+            return written
+
+    def flush(self) -> None:
+        if self.plan.crashed:
+            return
+        self._file.flush()
+
+    def fsync(self) -> None:
+        with self.plan._fault_mutex:
+            self._check_dead()
+            self._m_ops.inc()
+            if self.plan._count_op():
+                self._m_crashes.inc()
+                self.plan._crash(None, None)
+            self._file.flush()
+            if self.plan.rng.random() < self.plan.lying_fsync_rate:
+                # Acknowledge without durability: the unsynced writes
+                # stay on the undo log, droppable at the crash.
+                self._m_lying.inc()
+                return
+            os.fsync(self._file.fileno())
+            self._unsynced.clear()
+
+    def close(self) -> None:
+        if self.plan.crashed:
+            # A crashed process's descriptors are reclaimed silently.
+            if not self._file.closed:
+                self._file.close()
+            return
+        self._file.close()
+
+    # -- crash bookkeeping -------------------------------------------------
+
+    def _record_undo(self, data: bytes) -> None:
+        self._file.flush()
+        fd = self._file.fileno()
+        pre_size = os.fstat(fd).st_size
+        offset = pre_size if self._appending else self._file.tell()
+        old = b""
+        if self._readable and offset < pre_size:
+            old = os.pread(fd, len(data), offset)
+        self._unsynced.append(_WriteEntry(offset, old, len(data), pre_size))
+
+    def _rewind_unsynced(self, rng: random.Random) -> None:
+        """Keep a random prefix of unsynced writes; revert the rest."""
+        if self._file.closed or not self._unsynced:
+            return
+        self._file.flush()
+        cut = rng.randrange(len(self._unsynced) + 1)
+        dropped = self._unsynced[cut:]
+        if not dropped:
+            return
+        self._dropped_writes_at_crash = True
+        fd = self._file.fileno()
+        for entry in reversed(dropped):
+            if entry.old and not self._appending:
+                os.pwrite(fd, entry.old, entry.offset)
+        # The oldest dropped write's pre-size is the file length at the
+        # survival cut; everything beyond it never happened.
+        os.ftruncate(fd, dropped[0].pre_size)
+        self._m_dropped.inc(len(dropped))
+        self._unsynced = self._unsynced[:cut]
+
+    def _apply_torn_prefix(self, prefix: bytes) -> None:
+        """Persist only ``prefix`` of the crashing write (a torn write)."""
+        if self._file.closed:
+            return
+        fd = self._file.fileno()
+        if self._appending:
+            self._file.write(prefix)
+            self._file.flush()
+        else:
+            os.pwrite(fd, prefix, self._file.tell())
+        self._m_torn.inc()
+
+    def __repr__(self) -> str:
+        return "<FaultyFile %s unsynced=%d%s>" % (
+            self.label,
+            len(self._unsynced),
+            " DEAD" if self.plan.crashed else "",
+        )

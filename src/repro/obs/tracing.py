@@ -218,6 +218,19 @@ class Tracer:
                 )
                 self._slow_counter.inc()
 
+    def note(self, name: str, **tags: Any) -> None:
+        """Record a noteworthy non-timed event in the slow-op log.
+
+        Unlike :meth:`span`, a note always lands in the slow log
+        regardless of threshold — it marks events whose *occurrence* is
+        the signal (e.g. a torn WAL tail truncated during replay), and
+        makes them visible through ``slow_ops()`` and the SysSlowOp view.
+        """
+        if not self.enabled:
+            return
+        self._slow.append(SlowOp(name, 0.0, 0.0, tags))
+        self._slow_counter.inc()
+
     def set_slow_threshold(self, threshold: Optional[float]) -> None:
         """Enable, adjust or disable (None) the slow-op log at runtime.
 

@@ -13,7 +13,7 @@ import time
 from collections import OrderedDict
 from typing import Dict, Iterator, Optional, Set
 
-from ..errors import StorageError
+from ..errors import PageCorruptError, StorageError
 from ..obs.metrics import MetricsRegistry
 from ..obs.waits import WaitProfiler
 from .page import SlottedPage
@@ -27,7 +27,7 @@ class BufferStats:
     without the hot path paying for a division per access.
     """
 
-    __slots__ = ("_hits", "_faults", "_evictions", "_flushes")
+    __slots__ = ("_hits", "_faults", "_evictions", "_flushes", "_corruptions")
 
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         registry = registry if registry is not None else MetricsRegistry()
@@ -35,6 +35,9 @@ class BufferStats:
         self._faults = registry.counter("buffer.faults")
         self._evictions = registry.counter("buffer.evictions")
         self._flushes = registry.counter("buffer.flushes")
+        #: Checksum failures detected on page reads — the engine-side
+        #: detection counter of the ``fault.*`` family.
+        self._corruptions = registry.counter("fault.page_corruptions")
         registry.derived("buffer.hit_rate", lambda: self.hit_rate)
 
     @property
@@ -111,6 +114,11 @@ class BufferPool:
         self._dirty: Set[int] = set()
         self.stats = BufferStats(registry)
         self._waits = waits
+        # Torn-page protection hooks (attached by the Database once the
+        # WAL exists): log a full page image before the page write, and
+        # make logged images durable.  Both None when no WAL is wired.
+        self._image_log = None
+        self._image_sync = None
 
     @property
     def page_size(self) -> int:
@@ -123,6 +131,14 @@ class BufferPool:
         self._dirty.add(page_id)
         return page_id
 
+    def attach_page_image_log(self, log, sync) -> None:
+        """Arm torn-page protection: ``log(page_id, data)`` records a
+        full page image, ``sync()`` makes recorded images durable.
+        Every dirty write-back then logs its image *before* the page
+        write, so a write torn by a crash is repairable from the log."""
+        self._image_log = log
+        self._image_sync = sync
+
     def get_page(self, page_id: int) -> SlottedPage:
         frame = self._frames.get(page_id)
         if frame is not None:
@@ -130,16 +146,24 @@ class BufferPool:
             self.stats._hits.inc()
             return frame
         self.stats._faults.inc()
-        if self._waits is None:
-            frame = SlottedPage.from_bytes(self.pager.read_page(page_id))
-        else:
-            started = time.perf_counter()
-            frame = SlottedPage.from_bytes(self.pager.read_page(page_id))
-            self._waits.record(
-                "BufferRead",
-                time.perf_counter() - started,
-                target="page:%d" % page_id,
-            )
+        try:
+            if self._waits is None:
+                frame = SlottedPage.from_bytes(
+                    self.pager.read_page(page_id), page_id=page_id
+                )
+            else:
+                started = time.perf_counter()
+                frame = SlottedPage.from_bytes(
+                    self.pager.read_page(page_id), page_id=page_id
+                )
+                self._waits.record(
+                    "BufferRead",
+                    time.perf_counter() - started,
+                    target="page:%d" % page_id,
+                )
+        except PageCorruptError:
+            self.stats._corruptions.inc()
+            raise
         self._admit(page_id, frame)
         return frame
 
@@ -154,13 +178,26 @@ class BufferPool:
         self._frames[page_id] = frame
         self._frames.move_to_end(page_id)
 
-    def _write_back(self, page_id: int, frame: SlottedPage) -> None:
-        """Write a dirty frame through to the pager (timed as a wait)."""
+    def _write_back(
+        self, page_id: int, frame: SlottedPage, image_logged: bool = False
+    ) -> None:
+        """Write a dirty frame through to the pager (timed as a wait).
+
+        With torn-page protection armed, the page's full image is logged
+        and made durable *before* the in-place write — write-ahead at
+        the physical level, so recovery can always re-image a page whose
+        write tore.  ``image_logged`` skips that when the caller already
+        batch-logged (``flush_all``).
+        """
+        data = frame.to_bytes()
+        if self._image_log is not None and not image_logged:
+            self._image_log(page_id, data)
+            self._image_sync()
         if self._waits is None:
-            self.pager.write_page(page_id, frame.to_bytes())
+            self.pager.write_page(page_id, data)
         else:
             started = time.perf_counter()
-            self.pager.write_page(page_id, frame.to_bytes())
+            self.pager.write_page(page_id, data)
             self._waits.record(
                 "BufferWrite",
                 time.perf_counter() - started,
@@ -175,17 +212,34 @@ class BufferPool:
             self.stats._flushes.inc()
         self.stats._evictions.inc()
 
-    def flush_page(self, page_id: int) -> None:
+    def flush_page(self, page_id: int, image_logged: bool = False) -> None:
         frame = self._frames.get(page_id)
         if frame is not None and page_id in self._dirty:
-            self._write_back(page_id, frame)
+            self._write_back(page_id, frame, image_logged=image_logged)
             self._dirty.discard(page_id)
             self.stats._flushes.inc()
 
     def flush_all(self) -> None:
-        for page_id in list(self._dirty):
-            self.flush_page(page_id)
+        dirty = sorted(self._dirty)
+        batch_logged = False
+        if self._image_log is not None and dirty:
+            # One durability point for the whole batch of images instead
+            # of an fsync per page.
+            for page_id in dirty:
+                frame = self._frames.get(page_id)
+                if frame is not None:
+                    self._image_log(page_id, frame.to_bytes())
+            self._image_sync()
+            batch_logged = True
+        for page_id in dirty:
+            self.flush_page(page_id, image_logged=batch_logged)
         self.pager.sync()
+
+    def invalidate(self, page_id: int) -> None:
+        """Drop a frame without writing it back (recovery re-imaged the
+        page on disk underneath us; the cached parse is stale)."""
+        self._frames.pop(page_id, None)
+        self._dirty.discard(page_id)
 
     def drop_all(self) -> None:
         """Empty the pool *after* flushing — used to simulate a cold cache."""

@@ -21,11 +21,12 @@ from typing import Any, Dict, Iterator, List, Optional
 
 from ..core.obj import ObjectState
 from ..core.oid import OID
-from ..errors import ObjectNotFoundError, StorageError
+from ..errors import ObjectNotFoundError, PageCorruptError, StorageError
 from ..obs.metrics import MetricsRegistry
 from .buffer import BufferPool
 from .directory import ObjectDirectory
 from .heap import RID, HeapFile
+from .page import SlottedPage
 from .pager import DEFAULT_PAGE_SIZE, open_pager
 from .serializer import decode_object, encode_object
 
@@ -58,6 +59,10 @@ class StorageManager:
         self.directory = ObjectDirectory()
         self._heaps: Dict[str, HeapFile] = {}
         self._sticky_extra: Dict[str, Any] = {}
+        #: True when the bootstrap directory rebuild hit corrupt pages.
+        #: Recovery repairs the pages from WAL full-page images and
+        #: rebuilds again; anything else must not trust the directory.
+        self.directory_stale = False
         if path is not None:
             self._load_metadata()
 
@@ -76,7 +81,13 @@ class StorageManager:
         for class_name, page_ids in meta.pop("heaps", {}).items():
             self._heaps[class_name] = HeapFile(self.buffer, class_name, page_ids)
         self._sticky_extra = meta
-        self.rebuild_directory()
+        try:
+            self.rebuild_directory()
+        except StorageError:
+            # Torn pages (or a file shorter than the catalog expects, after
+            # a crash reverted allocations).  Not fatal at open time:
+            # recovery repairs pages from WAL images and rebuilds.
+            self.directory_stale = True
 
     def save_metadata(self, extra: Optional[Dict[str, Any]] = None) -> None:
         """Persist heap catalogs (and arbitrary extra metadata) to disk.
@@ -122,6 +133,58 @@ class StorageManager:
                 else:
                     state = decode_object(body)
                     self.directory.add(state.oid, class_name, rid)
+        self.directory_stale = False
+
+    # -- crash repair (driven by txn.recovery) ----------------------------
+
+    def ensure_heap_pages(self) -> int:
+        """Re-extend the page file to cover every cataloged heap page.
+
+        A crash can revert page allocations (the file is shorter than it
+        was) while the metadata catalog still references the higher page
+        ids.  Fresh allocations are all-zero pages — exactly the state a
+        never-flushed page would have had.  Returns how many pages were
+        re-allocated.
+        """
+        max_id = -1
+        for heap in self._heaps.values():
+            if heap.page_ids:
+                max_id = max(max_id, max(heap.page_ids))
+        added = 0
+        while self.pager.page_count <= max_id:
+            self.pager.allocate()
+            added += 1
+        return added
+
+    def repair_pages(self, images: Dict[int, bytes]) -> int:
+        """Sweep every page, re-imaging corrupt ones from WAL images.
+
+        ``images`` maps page id to the *newest* full page image in the
+        log.  A corrupt page with no image is unrepairable and raises —
+        that would mean a page write tore before its image was logged,
+        i.e. the physical write-ahead invariant was violated (possible
+        only under lying-fsync faults, where all guarantees are void).
+        Returns the number of pages re-imaged.
+        """
+        repaired = 0
+        for page_id in range(self.pager.page_count):
+            data = self.pager.read_page(page_id)
+            try:
+                SlottedPage.verify_bytes(data, page_id)
+            except PageCorruptError:
+                image = images.get(page_id)
+                if image is None:
+                    raise PageCorruptError(
+                        "page %d is corrupt and the log holds no image of it"
+                        % page_id,
+                        page_id=page_id,
+                    )
+                self.pager.write_page(page_id, image)
+                self.buffer.invalidate(page_id)
+                repaired += 1
+        if repaired:
+            self.pager.sync()
+        return repaired
 
     # -- long objects (overflow chains) ----------------------------------
 

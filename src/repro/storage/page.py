@@ -9,21 +9,31 @@ relocates the record.
 
 Layout (big-endian)::
 
-    [0:2)   slot_count
-    [2:4)   free_end   -- offset one past the last free byte (records
+    [0:4)   crc32 over bytes [4:page_size)
+    [4:6)   slot_count
+    [6:8)   free_end   -- offset one past the last free byte (records
                           occupy [free_end:page_size))
     then slot_count entries of 4 bytes each: offset (2) + length (2).
     offset == 0xFFFF marks a tombstone.
+
+Every serialized page carries its checksum; every deserialization
+verifies it (raising :class:`~repro.errors.PageCorruptError`), so a torn
+page write or flipped bit on disk is *detected* at the buffer pool
+instead of surfacing as garbage records.  A page of all zero bytes is
+the one checksum-exempt form: it is what the pager allocates and means
+"never written" — an empty page.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import Iterator, List, Optional, Tuple
 
-from ..errors import PageFullError, StorageError
+from ..errors import PageCorruptError, PageFullError, StorageError
 
-_HEADER = struct.Struct(">HH")
+_CRC = struct.Struct(">I")
+_HEADER = struct.Struct(">IHH")  # crc, slot_count, free_end
 _SLOT = struct.Struct(">HH")
 TOMBSTONE = 0xFFFF
 
@@ -127,19 +137,46 @@ class SlottedPage:
             free_end -= len(body)
             buf[free_end : free_end + len(body)] = body
             slot_entries.append((free_end, len(body)))
-        _HEADER.pack_into(buf, 0, len(self._slots), free_end)
+        _HEADER.pack_into(buf, 0, 0, len(self._slots), free_end)
         pos = _HEADER.size
         for offset, length in slot_entries:
             _SLOT.pack_into(buf, pos, offset, length)
             pos += _SLOT.size
         if pos > free_end:
             raise StorageError("slot directory overlaps record area")
+        _CRC.pack_into(buf, 0, zlib.crc32(bytes(buf[_CRC.size :])))
         return bytes(buf)
 
+    @staticmethod
+    def verify_bytes(data: bytes, page_id: Optional[int] = None) -> None:
+        """Raise :class:`PageCorruptError` unless ``data`` checksums.
+
+        An all-zero page (never written since allocation) is valid and
+        empty; any other content must carry a matching CRC.
+        """
+        (stored,) = _CRC.unpack_from(data, 0)
+        if stored == zlib.crc32(data[_CRC.size :]):
+            return
+        if not any(data):
+            return
+        where = "page %s" % page_id if page_id is not None else "page"
+        raise PageCorruptError(
+            "%s failed checksum verification (stored 0x%08x): torn write "
+            "or on-disk corruption" % (where, stored),
+            page_id=page_id,
+        )
+
     @classmethod
-    def from_bytes(cls, data: bytes) -> "SlottedPage":
+    def from_bytes(
+        cls,
+        data: bytes,
+        page_id: Optional[int] = None,
+        verify: bool = True,
+    ) -> "SlottedPage":
+        if verify:
+            cls.verify_bytes(data, page_id)
         page = cls(len(data))
-        slot_count, _free_end = _HEADER.unpack_from(data, 0)
+        _crc, slot_count, _free_end = _HEADER.unpack_from(data, 0)
         pos = _HEADER.size
         for _ in range(slot_count):
             offset, length = _SLOT.unpack_from(data, pos)

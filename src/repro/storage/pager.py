@@ -14,6 +14,7 @@ import time
 from typing import Dict, Optional
 
 from ..errors import StorageError
+from ..faults import fsync_file, wrap_file
 from ..obs.metrics import MetricsRegistry
 from ..obs.waits import WaitProfiler
 
@@ -155,7 +156,9 @@ class FilePager:
         self._waits = waits
         exists = os.path.exists(path) and os.path.getsize(path) >= self.HEADER_SIZE
         mode = "r+b" if exists else "w+b"
-        self._file = open(path, mode)
+        # Routed through the fault-injection layer: a no-op passthrough
+        # unless a FaultPlan is installed (torture tests).
+        self._file = wrap_file(open(path, mode), "pager:%s" % path, registry)
         if exists:
             self._validate_header()
             size = os.path.getsize(path)
@@ -235,7 +238,7 @@ class FilePager:
 
     def sync(self) -> None:
         self._file.flush()
-        os.fsync(self._file.fileno())
+        fsync_file(self._file)
 
     def close(self) -> None:
         if not self._file.closed:

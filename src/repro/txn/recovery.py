@@ -1,8 +1,12 @@
-"""Crash recovery: repeat history, then roll back losers.
+"""Crash recovery: repair pages, repeat history, then roll back losers.
 
-An ARIES-shaped (but logical) three-pass recovery over the write-ahead
-log:
+An ARIES-shaped (but logical) recovery over the write-ahead log, with a
+physical phase in front:
 
+0. **Repair** — sweep data pages verifying checksums; a corrupt (torn)
+   page is re-imaged from the newest PAGE_IMAGE record in the log.  The
+   buffer pool logs a full page image before every write-back, so any
+   page whose write tore has a durable image to restore.
 1. **Analysis** — scan the log from the last CHECKPOINT, collecting the
    set of transactions with a COMMIT record (winners) and those without
    (losers).
@@ -12,6 +16,12 @@ log:
    object is skipped.
 3. **Undo** — walk losers' mutations newest-first applying before-images.
 
+Recovery itself is idempotent: every phase may be interrupted by a
+second crash and re-run from scratch.  Phase 0 only writes CRC-verified
+images from the log; the logical passes repeat history again; and the
+log is not truncated until a later checkpoint, so nothing recovery needs
+is consumed by running it.
+
 The storage operations go through a small applier interface so recovery
 can drive either a raw storage manager or a full database (with index
 rebuild afterwards).
@@ -19,9 +29,10 @@ rebuild afterwards).
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
 from ..core.obj import ObjectState
+from ..obs.metrics import MetricsRegistry
 from ..storage.manager import StorageManager
 from .wal import (
     ABORT,
@@ -30,6 +41,7 @@ from .wal import (
     COMMIT,
     DELETE,
     INSERT,
+    PAGE_IMAGE,
     UPDATE,
     LogRecord,
     WriteAheadLog,
@@ -44,13 +56,20 @@ class RecoveryReport:
         self.losers: Set[int] = set()
         self.redone = 0
         self.undone = 0
+        self.pages_reimaged = 0
+        self.pages_reallocated = 0
 
     def __repr__(self) -> str:
-        return "<RecoveryReport %d winners, %d losers, %d redone, %d undone>" % (
-            len(self.winners),
-            len(self.losers),
-            self.redone,
-            self.undone,
+        return (
+            "<RecoveryReport %d winners, %d losers, %d redone, %d undone, "
+            "%d pages reimaged>"
+            % (
+                len(self.winners),
+                len(self.losers),
+                self.redone,
+                self.undone,
+                self.pages_reimaged,
+            )
         )
 
 
@@ -66,10 +85,30 @@ def _apply_delete(storage: StorageManager, state: ObjectState) -> None:
         storage.remove(state.oid)
 
 
-def recover(wal: WriteAheadLog, storage: StorageManager) -> RecoveryReport:
+def recover(
+    wal: WriteAheadLog,
+    storage: StorageManager,
+    registry: Optional[MetricsRegistry] = None,
+) -> RecoveryReport:
     """Bring ``storage`` to the state implied by the log."""
     report = RecoveryReport()
+    if registry is not None:
+        registry.counter("recovery.runs").inc()
     records = list(wal.replay())
+
+    # Phase 0: physical repair.  Re-extend the file over any allocations
+    # the crash reverted, then re-image pages whose checksums fail from
+    # the newest PAGE_IMAGE each page has in the companion log.
+    images: Dict[int, bytes] = {}
+    for record in wal.page_images():
+        images[record.page_id] = record.page_data
+    report.pages_reallocated = storage.ensure_heap_pages()
+    report.pages_reimaged = storage.repair_pages(images)
+    if report.pages_reimaged or report.pages_reallocated or storage.directory_stale:
+        storage.rebuild_directory()
+    if registry is not None:
+        registry.counter("recovery.pages_reimaged").inc(report.pages_reimaged)
+        registry.counter("recovery.pages_reallocated").inc(report.pages_reallocated)
 
     # Start from the last checkpoint: earlier records are already durable
     # in the data pages (checkpoint = flush + truncate is the normal path,
@@ -124,6 +163,9 @@ def recover(wal: WriteAheadLog, storage: StorageManager) -> RecoveryReport:
         report.undone += 1
 
     storage.flush()
+    if registry is not None:
+        registry.counter("recovery.redone").inc(report.redone)
+        registry.counter("recovery.undone").inc(report.undone)
     return report
 
 

@@ -10,7 +10,6 @@ checkpoint and rolls back losers.
 
 from __future__ import annotations
 
-import os
 import struct
 import time
 import zlib
@@ -18,6 +17,7 @@ from typing import Iterator, List, Optional
 
 from ..core.obj import ObjectState
 from ..errors import RecoveryError
+from ..faults import fsync_file, wrap_file
 from ..obs.metrics import MetricsRegistry
 from ..obs.waits import WaitProfiler
 from ..storage.serializer import decode_object, encode_object
@@ -30,6 +30,13 @@ DELETE = 4
 COMMIT = 5
 ABORT = 6
 CHECKPOINT = 7
+#: Physical full-page image, logged by the buffer pool before a page
+#: write-back (torn-page protection).  Recovery re-images a page whose
+#: checksum fails from the newest image in the log.  Images live in a
+#: *companion* physical log (``<path>.pages``), not the logical log:
+#: interleaving 4 KiB snapshots with logical records would bloat replay
+#: and couple two log streams with independent lifecycles.
+PAGE_IMAGE = 8
 
 _TYPE_NAMES = {
     BEGIN: "BEGIN",
@@ -39,15 +46,21 @@ _TYPE_NAMES = {
     COMMIT: "COMMIT",
     ABORT: "ABORT",
     CHECKPOINT: "CHECKPOINT",
+    PAGE_IMAGE: "PAGE_IMAGE",
 }
 
 _FRAME = struct.Struct(">IIBQ")  # crc, payload length, type, txn id
+_PAGE_HEAD = struct.Struct(">I")  # page id prefix of a PAGE_IMAGE payload
 
 
 class LogRecord:
-    """One log entry; ``before``/``after`` are object states or None."""
+    """One log entry; ``before``/``after`` are object states or None.
 
-    __slots__ = ("lsn", "record_type", "txn_id", "before", "after")
+    ``PAGE_IMAGE`` records carry ``page_id``/``page_data`` instead — a
+    physical snapshot, not a logical mutation.
+    """
+
+    __slots__ = ("lsn", "record_type", "txn_id", "before", "after", "page_id", "page_data")
 
     def __init__(
         self,
@@ -56,14 +69,20 @@ class LogRecord:
         before: Optional[ObjectState] = None,
         after: Optional[ObjectState] = None,
         lsn: int = -1,
+        page_id: Optional[int] = None,
+        page_data: Optional[bytes] = None,
     ) -> None:
         self.record_type = record_type
         self.txn_id = txn_id
         self.before = before
         self.after = after
         self.lsn = lsn
+        self.page_id = page_id
+        self.page_data = page_data
 
     def payload(self) -> bytes:
+        if self.record_type == PAGE_IMAGE:
+            return _PAGE_HEAD.pack(self.page_id) + (self.page_data or b"")
         parts = []
         for state in (self.before, self.after):
             if state is None:
@@ -76,6 +95,15 @@ class LogRecord:
 
     @classmethod
     def from_payload(cls, record_type: int, txn_id: int, payload: bytes, lsn: int) -> "LogRecord":
+        if record_type == PAGE_IMAGE:
+            (page_id,) = _PAGE_HEAD.unpack_from(payload, 0)
+            return cls(
+                record_type,
+                txn_id,
+                lsn=lsn,
+                page_id=page_id,
+                page_data=payload[_PAGE_HEAD.size :],
+            )
         pos = 0
         states: List[Optional[ObjectState]] = []
         for _ in range(2):
@@ -109,14 +137,17 @@ class WriteAheadLog:
         sync_on_commit: bool = True,
         registry: Optional[MetricsRegistry] = None,
         waits: Optional[WaitProfiler] = None,
+        tracer=None,
     ) -> None:
         self.path = path
         self.sync_on_commit = sync_on_commit
         self._waits = waits
+        self._tracer = tracer
         self._records: List[LogRecord] = []  # memory mode only
         self._next_lsn = 0
         self._file = None
-        registry = registry if registry is not None else MetricsRegistry()
+        self._registry = registry if registry is not None else MetricsRegistry()
+        registry = self._registry
         self._appends = registry.counter("wal.appends")
         #: A "flush" is the commit-time durability point: file flush for
         #: durable logs, the COMMIT append itself for in-memory logs.
@@ -124,8 +155,20 @@ class WriteAheadLog:
         self._syncs = registry.counter("wal.syncs")
         self._truncates = registry.counter("wal.truncates")
         self._append_bytes = registry.counter("wal.append_bytes")
+        #: Torn tails silently truncated during replay — the expected
+        #: crash artifact, but one worth *seeing* when it happens.
+        self._torn_tails = registry.counter("fault.wal_torn_tail")
+        self._image_appends = registry.counter("wal.page_images")
+        self._image_bytes = registry.counter("wal.page_image_bytes")
+        #: Companion physical log holding PAGE_IMAGE frames.
+        self.pages_path = path + ".pages" if path is not None else None
+        self._pages_file = None
+        self._page_images: List[LogRecord] = []  # memory mode only
         if path is not None:
-            self._file = open(path, "ab")
+            self._file = wrap_file(open(path, "ab"), "wal:%s" % path, registry)
+            self._pages_file = wrap_file(
+                open(self.pages_path, "ab"), "wal-pages:%s" % self.pages_path, registry
+            )
             # Count pre-existing records so LSNs keep increasing.  A
             # corrupt log is not fatal at open time — recovery's explicit
             # replay() reports it to the caller.
@@ -164,7 +207,7 @@ class WriteAheadLog:
                     )
                 if self.sync_on_commit:
                     started = time.perf_counter() if self._waits is not None else 0.0
-                    os.fsync(self._file.fileno())
+                    fsync_file(self._file)
                     self._syncs.inc()
                     if self._waits is not None:
                         self._waits.record(
@@ -196,6 +239,42 @@ class WriteAheadLog:
     def log_checkpoint(self) -> None:
         self.append(LogRecord(CHECKPOINT, 0))
 
+    def log_page_image(self, page_id: int, data: bytes) -> None:
+        """Record a physical full-page image (torn-page protection).
+
+        Logged by the buffer pool immediately before each dirty page
+        write-back; not tied to any transaction (txn id 0).  Images go
+        to the companion ``.pages`` log, framed exactly like logical
+        records so torn image tails are detected the same way.
+        """
+        record = LogRecord(PAGE_IMAGE, 0, page_id=page_id, page_data=data)
+        self._image_appends.inc()
+        if self._pages_file is None:
+            self._page_images.append(record)
+            return
+        payload = record.payload()
+        crc = zlib.crc32(payload + bytes([PAGE_IMAGE]))
+        frame = _FRAME.pack(crc, len(payload), PAGE_IMAGE, 0)
+        self._pages_file.write(frame + payload)
+        self._image_bytes.inc(_FRAME.size + len(payload))
+
+    def sync(self) -> None:
+        """Force both logs (physical first, then logical) to stable storage.
+
+        Called by the buffer pool before page write-backs — this is the
+        write-ahead rule at both levels: a data page never reaches disk
+        ahead of its full-page image *or* of the logical records that
+        produced it.
+        """
+        if self._file is None:
+            return
+        if self._pages_file is not None:
+            self._pages_file.flush()
+            fsync_file(self._pages_file)
+        self._file.flush()
+        fsync_file(self._file)
+        self._syncs.inc()
+
     # -- reading ------------------------------------------------------------
 
     def replay(self) -> Iterator[LogRecord]:
@@ -215,15 +294,18 @@ class WriteAheadLog:
         pos = 0
         while pos < len(data):
             if pos + _FRAME.size > len(data):
-                break  # torn frame header at tail
+                self._note_torn_tail(self.path, pos, len(data), "torn frame header")
+                break
             crc, length, record_type, txn_id = _FRAME.unpack_from(data, pos)
             frame_end = pos + _FRAME.size + length
             if frame_end > len(data):
-                break  # torn payload at tail
+                self._note_torn_tail(self.path, pos, len(data), "torn payload")
+                break
             payload = data[pos + _FRAME.size : frame_end]
             if zlib.crc32(payload + bytes([record_type])) != crc:
                 if frame_end == len(data):
-                    break  # torn final record
+                    self._note_torn_tail(self.path, pos, len(data), "checksum mismatch")
+                    break
                 raise RecoveryError("corrupt log record at offset %d" % pos)
             if record_type not in _TYPE_NAMES:
                 raise RecoveryError("unknown log record type %d" % record_type)
@@ -232,16 +314,78 @@ class WriteAheadLog:
             pos = frame_end
         self._next_lsn = max(self._next_lsn, lsn)
 
+    def page_images(self) -> Iterator[LogRecord]:
+        """PAGE_IMAGE records from the companion log, oldest first.
+
+        The same torn-tail tolerance as :meth:`replay`: a partial or
+        checksum-failing final frame ends iteration (counted, not
+        raised); corruption before the tail raises RecoveryError.
+        """
+        if self._pages_file is None:
+            yield from list(self._page_images)
+            return
+        self._pages_file.flush()
+        with open(self.pages_path, "rb") as handle:
+            data = handle.read()
+        pos = 0
+        while pos < len(data):
+            if pos + _FRAME.size > len(data):
+                self._note_torn_tail(self.pages_path, pos, len(data), "torn frame header")
+                break
+            crc, length, record_type, txn_id = _FRAME.unpack_from(data, pos)
+            frame_end = pos + _FRAME.size + length
+            if frame_end > len(data):
+                self._note_torn_tail(self.pages_path, pos, len(data), "torn payload")
+                break
+            payload = data[pos + _FRAME.size : frame_end]
+            if zlib.crc32(payload + bytes([record_type])) != crc:
+                if frame_end == len(data):
+                    self._note_torn_tail(self.pages_path, pos, len(data), "checksum mismatch")
+                    break
+                raise RecoveryError(
+                    "corrupt page-image record at offset %d" % pos
+                )
+            if record_type != PAGE_IMAGE:
+                raise RecoveryError(
+                    "unexpected record type %d in page-image log" % record_type
+                )
+            yield LogRecord.from_payload(record_type, txn_id, payload, -1)
+            pos = frame_end
+
+    def _note_torn_tail(self, path: Optional[str], offset: int, size: int, reason: str) -> None:
+        """Count (and trace) a torn tail truncated during replay.
+
+        The truncation itself is correct crash behaviour; the point is
+        that it must never be *silent* — operators diagnosing a recovery
+        should see how much log was discarded and why.
+        """
+        self._torn_tails.inc()
+        if self._tracer is not None:
+            self._tracer.note(
+                "wal.torn_tail",
+                path=path,
+                offset=offset,
+                discarded_bytes=size - offset,
+                reason=reason,
+            )
+
     def truncate(self) -> None:
-        """Discard the log (after a checkpoint made data pages durable)."""
+        """Discard both logs (after a checkpoint made data pages durable)."""
         self._truncates.inc()
         if self._file is None:
             self._records.clear()
+            self._page_images.clear()
             return
         self._file.close()
         self._file = open(self.path, "wb")
         self._file.close()
-        self._file = open(self.path, "ab")
+        self._file = wrap_file(open(self.path, "ab"), "wal:%s" % self.path, self._registry)
+        self._pages_file.close()
+        self._pages_file = open(self.pages_path, "wb")
+        self._pages_file.close()
+        self._pages_file = wrap_file(
+            open(self.pages_path, "ab"), "wal-pages:%s" % self.pages_path, self._registry
+        )
 
     @property
     def record_count(self) -> int:
@@ -253,3 +397,6 @@ class WriteAheadLog:
         if self._file is not None and not self._file.closed:
             self._file.flush()
             self._file.close()
+        if self._pages_file is not None and not self._pages_file.closed:
+            self._pages_file.flush()
+            self._pages_file.close()
