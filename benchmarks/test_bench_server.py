@@ -1,0 +1,200 @@
+"""E15: multi-client server throughput over the wire protocol.
+
+An 8-client mixed workload against one served database: four readers
+running OQL queries and cursor streams over the Automobile subtree,
+four writers running transactional updates over disjoint slices of the
+Truck extent.  Reader and writer lock footprints are disjoint by
+construction (S on Automobile classes vs IX/X under Truck), so the
+request and row counts — the counters benchgate gates — are exact
+functions of the workload, not of thread interleaving.
+
+Reports throughput and client-observed latency percentiles, then
+verifies the ISSUE's cleanup guarantee: killing a client mid-transaction
+leaves no stranded locks or sessions (asserted through SysLock and
+SysSession, the same views an operator would use).
+"""
+
+import threading
+import time
+
+import pytest
+from conftest import emit_bench_artifact, print_table
+
+from repro import Database
+from repro.bench.schemas import build_vehicle_schema, populate_vehicles
+from repro.server import Client, ConnectionPool, Server
+
+N_VEHICLES = 1000
+N_READERS = 4
+N_WRITERS = 4
+ROUNDS = 3
+UPDATES_PER_ROUND = 5
+STREAM_BATCH = 50
+
+
+@pytest.fixture(scope="module")
+def served_db():
+    db = Database()
+    build_vehicle_schema(db)
+    oids = populate_vehicles(db, n_vehicles=N_VEHICLES, n_companies=20, seed=1990)
+    server = Server(db, port=0, workers=8, lock_timeout=10.0)
+    server.start()
+    yield db, server, oids
+    server.stop()
+    db.close()
+
+
+def _percentile(sorted_values, fraction):
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+def _reader(pool, latencies, errors):
+    try:
+        with pool.connection() as c:
+            for _round in range(ROUNDS):
+                start = time.perf_counter()
+                rows = c.query("Automobile where color = 'blue'")
+                latencies.append(time.perf_counter() - start)
+                assert rows, "blue automobiles exist by construction"
+                start = time.perf_counter()
+                streamed = sum(
+                    1
+                    for _row in c.query_stream(
+                        "DomesticAutomobile", batch=STREAM_BATCH
+                    )
+                )
+                latencies.append(time.perf_counter() - start)
+                assert streamed == N_VEHICLES // 4
+    except Exception as exc:  # pragma: no cover - failure reporting
+        errors.append(exc)
+
+
+def _writer(pool, my_trucks, latencies, errors):
+    try:
+        with pool.connection() as c:
+            for round_no in range(ROUNDS):
+                start = time.perf_counter()
+                with c.transaction():
+                    for position in range(UPDATES_PER_ROUND):
+                        oid = my_trucks[
+                            (round_no * UPDATES_PER_ROUND + position)
+                            % len(my_trucks)
+                        ]
+                        c.update(oid, {"payload": 1000 + round_no})
+                latencies.append(time.perf_counter() - start)
+    except Exception as exc:  # pragma: no cover - failure reporting
+        errors.append(exc)
+
+
+def test_mixed_workload_throughput(served_db):
+    db, server, oids = served_db
+    trucks = oids["Truck"]
+    slice_size = len(trucks) // N_WRITERS
+    host, port = server.address
+
+    requests_before = db.metrics.counter("server.requests").value
+    errors = []
+    read_latencies = []
+    write_latencies = []
+    with ConnectionPool(host, port, size=N_READERS + N_WRITERS) as pool:
+        threads = [
+            threading.Thread(target=_reader, args=(pool, read_latencies, errors))
+            for _ in range(N_READERS)
+        ] + [
+            threading.Thread(
+                target=_writer,
+                args=(
+                    pool,
+                    trucks[w * slice_size : (w + 1) * slice_size],
+                    write_latencies,
+                    errors,
+                ),
+            )
+            for w in range(N_WRITERS)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        elapsed = time.perf_counter() - started
+    assert not errors, errors
+
+    requests = db.metrics.counter("server.requests").value - requests_before
+    throughput = requests / elapsed if elapsed else 0.0
+    reads = sorted(read_latencies)
+    writes = sorted(write_latencies)
+    all_ops = sorted(read_latencies + write_latencies)
+    p50 = _percentile(all_ops, 0.50)
+    p99 = _percentile(all_ops, 0.99)
+
+    print_table(
+        "E15: 8-client mixed workload (%d requests in %.2fs)" % (requests, elapsed),
+        ("series", "ops", "p50 ms", "p99 ms"),
+        [
+            ("reader ops", len(reads), round(_percentile(reads, 0.5) * 1e3, 2),
+             round(_percentile(reads, 0.99) * 1e3, 2)),
+            ("writer txns", len(writes), round(_percentile(writes, 0.5) * 1e3, 2),
+             round(_percentile(writes, 0.99) * 1e3, 2)),
+            ("all", len(all_ops), round(p50 * 1e3, 2), round(p99 * 1e3, 2)),
+        ],
+    )
+
+    # The workload is clean: everything committed, nothing held.
+    assert not db.txns.active_transactions()
+    assert db.select("SysLock") == []
+    # Disjoint reader/writer subtrees: contention is structural zero.
+    rows_streamed = db.metrics.counter("server.rows_streamed").value
+    assert rows_streamed >= N_READERS * ROUNDS * (N_VEHICLES // 4)
+
+    emit_bench_artifact(
+        "server",
+        {
+            "clients": N_READERS + N_WRITERS,
+            "requests": requests,
+            "throughput_rps": round(throughput, 1),
+            "p50_ms": round(p50 * 1e3, 3),
+            "p99_ms": round(p99 * 1e3, 3),
+            "reader_ops": len(reads),
+            "writer_txns": len(writes),
+            "rows_streamed": rows_streamed,
+        },
+        db=db,
+    )
+
+
+def test_kill_mid_txn_leaves_no_stranded_locks(served_db):
+    """The hard constraint, measured where an operator would look."""
+    db, server, oids = served_db
+    target = oids["Truck"][0]
+    host, port = server.address
+
+    victim = Client(host, port)
+    victim.begin()
+    victim.update(target, {"payload": -1})
+    # The victim's X lock is visible while it lives...
+    held = db.select("SysLock where granted = true")
+    assert any(row["txn"] == victim_txn_row(db) for row in held)
+    victim.kill()
+
+    deadline = time.perf_counter() + 10.0
+    while time.perf_counter() < deadline and (
+        db.select("SysSession") or db.txns.active_transactions()
+    ):
+        time.sleep(0.01)
+    # ...and gone, with its session and transaction, once it is killed.
+    assert db.select("SysSession") == []
+    assert db.select("SysLock") == []
+    assert not db.txns.active_transactions()
+    with Client(host, port) as probe:
+        probe.update(target, {"payload": 4242})
+        assert probe.get(target)["values"]["payload"] == 4242
+
+
+def victim_txn_row(db):
+    active = db.txns.active_transactions()
+    assert len(active) == 1
+    return active[0]

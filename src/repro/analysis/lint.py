@@ -140,6 +140,14 @@ class LintConfig:
 #: table's mutex/condition (one underlying lock) sit above it and must
 #: never be held while re-entering id allocation.
 ENGINE_LOCK_LATTICE: Dict[str, int] = {
+    # The server layer (its own privacy domain, like every top-level
+    # subpackage) sits entirely below the engine: a session's mutex is
+    # held across whole engine calls, so every engine latch must rank
+    # strictly above it.  The pool mutex is a client-side leaf that
+    # never nests with engine state at all.
+    "_session_mutex": 2,
+    "_sessions_mutex": 4,
+    "_pool_mutex": 6,
     "_id_mutex": 10,
     "_mutex": 20,
     "_condition": 20,

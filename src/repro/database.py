@@ -82,6 +82,81 @@ class DatabaseStats:
         self._db.locks.stats.reset()
 
 
+class QueryStream:
+    """A closable handle over a streaming query (:meth:`Database.select_iter`).
+
+    Pulls the Volcano pipeline lazily and applies per-object
+    authorization/MAC filtering as rows stream past.  ``close()`` is the
+    whole point of the class: it deterministically closes every pipeline
+    operator (stopping the underlying scans) and, when the stream opened
+    its own read transaction to hold scan locks, commits it so those
+    locks are released — an abandoned stream (a disconnected client) can
+    never strand locks until garbage collection happens to run.
+    """
+
+    def __init__(self, db: "Database", pipeline, txn, was_view: bool) -> None:
+        self._db = db
+        self._pipeline = pipeline
+        #: The stream's own read transaction (None when the caller's
+        #: explicit transaction holds the scan locks instead).
+        self._txn = txn
+        self._was_view = was_view
+        self._rows = pipeline.rows()
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __iter__(self) -> "QueryStream":
+        return self
+
+    def __next__(self) -> ObjectHandle:
+        if self._closed:
+            raise StopIteration
+        for state in self._rows:
+            oid = state.oid
+            if (
+                self._db.authz is not None
+                and not self._was_view
+                and not self._db.authz.read_allowed(oid)
+            ):
+                continue
+            if self._db.mac is not None and not self._db.mac.read_allowed(oid):
+                continue
+            return ObjectHandle(self._db, oid)
+        self.close()
+        raise StopIteration
+
+    def close(self) -> None:
+        """Close pipeline operators and release stream-held scan locks.
+
+        Idempotent.  Locks taken under a caller-provided transaction are
+        left alone (strict two-phase locking: they belong to that
+        transaction until it ends); only the stream's own implicit read
+        transaction is finished here.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._pipeline.close()
+        if self._txn is not None and self._txn.is_active:
+            # Read-only by construction; commit just releases its locks.
+            self._txn.commit()
+
+    def __enter__(self) -> "QueryStream":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
 class Database:
     """An object-oriented database.
 
@@ -198,6 +273,8 @@ class Database:
         self.views = None  # set by repro.views.attach()
         self.roles = None  # set by repro.semantics.attach_roles()
         self.temporal = None  # set by repro.semantics.attach_temporal()
+        self.sessions = None  # set by repro.server.Server (SysSession source)
+        self._closed = False
 
         if path is not None:
             self._bootstrap_durable(recover_on_open)
@@ -228,7 +305,21 @@ class Database:
         self.storage.save_metadata({"schema": self.schema.to_dict()})
         _checkpoint(self.wal, self.storage)
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self) -> None:
+        """Shut the database down; safe to call more than once.
+
+        Idempotence matters to the server front end, whose shutdown path
+        may race an explicit ``close()`` with the ``with``-statement
+        ``__exit__`` — the second call is a no-op instead of flushing
+        through already-closed files.
+        """
+        if self._closed:
+            return
+        self._closed = True
         self.txns.abort_all_active()
         if self.path is not None:
             self.checkpoint()
@@ -733,42 +824,48 @@ class Database:
             return list(result.rows or [])
         return [ObjectHandle(self, oid) for oid in result.oids]
 
-    def select_iter(self, query: Union[str, Query]) -> Iterator[ObjectHandle]:
+    def select_iter(self, query: Union[str, Query]) -> QueryStream:
         """Stream query results as handles, one at a time.
 
         The Volcano pipeline is pulled lazily: nothing is materialized,
-        and abandoning the iterator (or a LIMIT upstream) stops the
+        and abandoning the stream (or a LIMIT upstream) stops the
         underlying scan early.  Aggregates and projections need the
         materializing :meth:`execute` path and are rejected here.
         Per-object authorization and mandatory filtering apply as the
         rows stream past, exactly as :meth:`execute` filters its result.
+
+        Returns a :class:`QueryStream` (iterable, context manager).  When
+        no transaction is active on the calling thread the stream begins
+        its own read transaction so the scan locks taken during planning
+        actually protect the scan; the transaction is detached from the
+        thread immediately (later operations on this thread still
+        autocommit independently) and is committed — releasing the scan
+        locks — when the stream is exhausted or closed.
         """
-        prepared, plan, _report, was_view = self._prepare_query(query)
-        if self.syscat.is_system(prepared.target_class):
-            raise QueryError(
-                "select_iter yields object handles; system views have "
-                "none — use execute() or select()"
-            )
-        if prepared.aggregates:
-            raise QueryError("select_iter does not support aggregate queries")
-        if prepared.projections is not None:
-            raise QueryError("select_iter does not support projection queries")
-        pipeline = self._executor.pipeline(plan)
-        pipeline.open()
+        implicit: Optional[Transaction] = None
+        if self.txns.current is None:
+            implicit = self.txns.begin()
         try:
-            for state in pipeline.rows():
-                oid = state.oid
-                if (
-                    self.authz is not None
-                    and not was_view
-                    and not self.authz.read_allowed(oid)
-                ):
-                    continue
-                if self.mac is not None and not self.mac.read_allowed(oid):
-                    continue
-                yield ObjectHandle(self, oid)
+            prepared, plan, _report, was_view = self._prepare_query(query)
+            if self.syscat.is_system(prepared.target_class):
+                raise QueryError(
+                    "select_iter yields object handles; system views have "
+                    "none — use execute() or select()"
+                )
+            if prepared.aggregates:
+                raise QueryError("select_iter does not support aggregate queries")
+            if prepared.projections is not None:
+                raise QueryError("select_iter does not support projection queries")
+            pipeline = self._executor.pipeline(plan)
+            pipeline.open()
+        except BaseException:
+            if implicit is not None and implicit.is_active:
+                implicit.abort()
+            raise
         finally:
-            pipeline.close()
+            if implicit is not None:
+                self.txns.detach()
+        return QueryStream(self, pipeline, implicit, was_view)
 
     # ------------------------------------------------------------------
     # observability

@@ -82,6 +82,20 @@ SYSTEM_VIEWS: Dict[str, Tuple[Tuple[str, ...], str]] = {
         ("name", "elapsed", "threshold", "target"),
         "the tracer's slow-operation log",
     ),
+    "SysSession": (
+        (
+            "session",
+            "client",
+            "state",
+            "txn",
+            "age",
+            "idle",
+            "requests",
+            "rows_streamed",
+            "cursors",
+        ),
+        "connected server sessions (empty unless repro.server is attached)",
+    ),
     "SysOperator": (
         ("position", "op", "detail", "rows_out", "elapsed"),
         "operator pipeline of the last user query",
@@ -158,6 +172,15 @@ class SystemViewsAdapter(Adapter):
                 "wait_seconds": waits["seconds"],
                 "waiting_for": blocked.get(txn.txn_id),
             }
+
+    def _rows_syssession(self) -> Iterator[Row]:
+        # ``db.sessions`` is the server's session registry (a public
+        # attachment slot like ``db.authz``); an embedded database has
+        # none and the view is simply empty.
+        registry = self.db.sessions
+        if registry is None:
+            return iter(())
+        return iter(registry.rows())
 
     def _rows_sysslowop(self) -> Iterator[Row]:
         for op in self.db.tracer.slow_ops():

@@ -1,0 +1,226 @@
+"""The kimdb wire protocol: length-prefixed frames of JSON.
+
+The paper's minimum definition of an OODB makes it "a persistent and
+*sharable* repository"; sharing across processes needs a wire format.
+This one is deliberately small:
+
+* **Framing** — every message is a 4-byte big-endian unsigned length
+  followed by that many bytes of UTF-8 JSON.  A frame larger than
+  :data:`MAX_FRAME_BYTES` is a protocol error (a malformed length prefix
+  must not make the peer allocate gigabytes).
+* **Requests** — ``{"id": n, "op": "query", "params": {...}}``.  The id
+  is chosen by the client and echoed back verbatim, so a client library
+  can pipeline requests if it wants to (the bundled one does not).
+* **Responses** — ``{"id": n, "ok": true, "result": ...}`` on success,
+  or ``{"id": n, "ok": false, "error": {"code": ..., "message": ...}}``.
+  Error *codes* are the stable contract (clients dispatch on them);
+  messages are human-readable and may change.
+* **Values** — JSON primitives pass through; an OID crosses the wire as
+  ``{"$oid": value, "$class": hint}`` (see :func:`to_wire` /
+  :func:`from_wire`), so object references survive the round trip.
+
+Engine exceptions map onto stable error codes via :func:`error_code`;
+the client re-raises them as :class:`ServerError` carrying the code.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.oid import OID
+from ..errors import (
+    AuthorizationError,
+    DeadlockError,
+    KimDBError,
+    LockTimeoutError,
+    ObjectNotFoundError,
+    QueryError,
+    QuerySyntaxError,
+    SchemaError,
+    SemanticError,
+    TransactionError,
+    TypeCheckError,
+)
+
+#: Hard ceiling on one frame (requests and responses alike).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(KimDBError):
+    """Malformed frame, oversized frame, or non-serializable value."""
+
+
+class SessionError(KimDBError):
+    """Illegal session usage (nested BEGIN, unknown cursor, closed session)."""
+
+
+class ServerError(KimDBError):
+    """Client-side image of a typed error frame.
+
+    ``code`` is the stable wire code (``LOCK_TIMEOUT``, ``DEADLOCK``,
+    ...); ``message`` is the server's human-readable description.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__("[%s] %s" % (code, message))
+        self.code = code
+        self.message = message
+
+
+#: Exception class -> stable wire code, most specific first.  Anything
+#: not matched (a genuine server bug) reports ``INTERNAL``.
+_ERROR_CODES: Tuple[Tuple[type, str], ...] = (
+    (DeadlockError, "DEADLOCK"),
+    (LockTimeoutError, "LOCK_TIMEOUT"),
+    (TransactionError, "TRANSACTION"),
+    (ObjectNotFoundError, "NOT_FOUND"),
+    (SemanticError, "SEMANTIC"),
+    (QuerySyntaxError, "SYNTAX"),
+    (QueryError, "QUERY"),
+    (SchemaError, "SCHEMA"),
+    (TypeCheckError, "TYPECHECK"),
+    (AuthorizationError, "FORBIDDEN"),
+    (SessionError, "SESSION"),
+    (ProtocolError, "PROTOCOL"),
+    (KimDBError, "ENGINE"),
+)
+
+
+def error_code(exc: BaseException) -> str:
+    """The stable wire code for an exception (``INTERNAL`` if unknown)."""
+    for klass, code in _ERROR_CODES:
+        if isinstance(exc, klass):
+            return code
+    return "INTERNAL"
+
+
+# -- value encoding ----------------------------------------------------------
+
+
+def to_wire(value: Any) -> Any:
+    """Recursively encode a result value for JSON transport.
+
+    OIDs become ``{"$oid": ..., "$class": ...}`` markers; containers
+    recurse; JSON primitives pass through; anything else is a
+    :class:`ProtocolError` (the server must never silently ``repr`` an
+    internal object onto the wire).
+    """
+    if isinstance(value, OID):
+        return {"$oid": value.value, "$class": value.hint}
+    if isinstance(value, dict):
+        return {str(key): to_wire(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_wire(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ProtocolError(
+        "value of type %s is not wire-encodable" % type(value).__name__
+    )
+
+
+def from_wire(value: Any) -> Any:
+    """Inverse of :func:`to_wire`: revive OID markers, recurse containers."""
+    if isinstance(value, dict):
+        if "$oid" in value:
+            return OID(int(value["$oid"]), str(value.get("$class") or ""))
+        return {key: from_wire(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [from_wire(item) for item in value]
+    return value
+
+
+# -- frame encoding ----------------------------------------------------------
+
+
+def encode_frame(payload: Dict[str, Any]) -> bytes:
+    """One wire frame (length prefix + JSON body) for a message dict."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "frame of %d bytes exceeds the %d-byte limit"
+            % (len(body), MAX_FRAME_BYTES)
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_payload(body: bytes) -> Dict[str, Any]:
+    """Parse one frame body; malformed JSON is a :class:`ProtocolError`."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError("undecodable frame: %s" % exc) from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return payload
+
+
+def frame_length(header: bytes) -> int:
+    """Decode and bounds-check a 4-byte length prefix."""
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "announced frame of %d bytes exceeds the %d-byte limit"
+            % (length, MAX_FRAME_BYTES)
+        )
+    return length
+
+
+# -- response shaping (shared by server and tests) ---------------------------
+
+
+def ok_response(request_id: Any, result: Any) -> Dict[str, Any]:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id: Any, exc: BaseException) -> Dict[str, Any]:
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"code": error_code(exc), "message": str(exc)},
+    }
+
+
+# -- blocking socket helpers (client side) -----------------------------------
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, payload: Dict[str, Any]) -> int:
+    """Write one frame to a blocking socket; returns bytes sent."""
+    frame = encode_frame(payload)
+    sock.sendall(frame)
+    return len(frame)
+
+
+def recv_frame(sock: socket.socket) -> Tuple[Dict[str, Any], int]:
+    """Read one frame from a blocking socket: (payload, bytes read)."""
+    header = _recv_exact(sock, _LENGTH.size)
+    length = frame_length(header)
+    body = _recv_exact(sock, length) if length else b""
+    return decode_payload(body), _LENGTH.size + length
+
+
+def raise_on_error(payload: Dict[str, Any]) -> Any:
+    """Unwrap a response payload; re-raise typed errors as ServerError."""
+    if payload.get("ok"):
+        return payload.get("result")
+    error: Optional[Dict[str, Any]] = payload.get("error")
+    if not isinstance(error, dict):
+        raise ProtocolError("response frame is neither ok nor a typed error")
+    return_code = str(error.get("code") or "INTERNAL")
+    raise ServerError(return_code, str(error.get("message") or ""))

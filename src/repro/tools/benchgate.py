@@ -48,6 +48,8 @@ COST_PREFIXES = (
     "query.rows_examined",
     "query.index_probes",
     "fault.",
+    "server.requests",
+    "server.rows_streamed",
 )
 
 

@@ -148,6 +148,11 @@ class LockStats:
         self.wait_seconds.reset()
 
 
+#: Sentinel distinguishing "use the manager's default" from an explicit
+#: ``timeout=None`` (wait forever).
+_DEFAULT_TIMEOUT = object()
+
+
 class LockManager:
     """Mode-compatible, deadlock-detecting lock table."""
 
@@ -155,6 +160,7 @@ class LockManager:
         self,
         registry: Optional[MetricsRegistry] = None,
         waits: Optional[WaitProfiler] = None,
+        default_timeout: Optional[float] = 10.0,
     ) -> None:
         self._mutex = threading.Lock()
         self._condition = threading.Condition(self._mutex)
@@ -166,6 +172,10 @@ class LockManager:
         self._waiting: Dict[int, Tuple[Resource, str]] = {}
         self.stats = LockStats(registry)
         self.waits = waits
+        #: Timeout applied when ``acquire`` is called without one.  The
+        #: server front end shrinks it so a writer/writer conflict
+        #: surfaces to a remote client as a typed error, not a long hang.
+        self.default_timeout = default_timeout
 
     # -- acquisition -----------------------------------------------------------
 
@@ -174,11 +184,13 @@ class LockManager:
         txn_id: int,
         resource: Resource,
         mode: str,
-        timeout: Optional[float] = 10.0,
+        timeout: Any = _DEFAULT_TIMEOUT,
     ) -> None:
         """Acquire (or upgrade to) ``mode`` on ``resource`` for ``txn_id``."""
         if mode not in _STRENGTH:
             raise TransactionError("unknown lock mode %r" % (mode,))
+        if timeout is _DEFAULT_TIMEOUT:
+            timeout = self.default_timeout
         with self._condition:
             deadline = None
             wait_started = None

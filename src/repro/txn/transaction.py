@@ -9,9 +9,10 @@ them newest-first, then both paths release all locks.
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 from ..errors import TransactionError
 from ..obs.metrics import MetricsRegistry, NULL_INSTRUMENT
@@ -149,6 +150,49 @@ class TransactionManager:
         self._current.txn = txn
         self.wal.log_begin(txn_id)
         return txn
+
+    def attach(self, txn: Transaction) -> None:
+        """Bind ``txn`` as the calling thread's current transaction.
+
+        Server sessions park their transaction between requests (see
+        :meth:`detach`) and re-attach it on whichever worker thread
+        serves the next request, so one logical session spans many
+        threads while the engine's thread-local autocommit logic keeps
+        working unchanged.
+        """
+        current = self.current
+        if current is not None and current is not txn:
+            raise TransactionError(
+                "transaction %d is already active on this thread; cannot "
+                "attach transaction %d" % (current.txn_id, txn.txn_id)
+            )
+        txn._require_active()
+        self._current.txn = txn
+
+    def detach(self) -> Optional[Transaction]:
+        """Unbind and return the calling thread's current transaction.
+
+        The transaction stays active (locks, undo log, WAL state are
+        untouched) — it is merely no longer this thread's implicit
+        transaction.  Returns ``None`` when the thread had none.
+        """
+        txn = self.current
+        self._current.txn = None
+        return txn
+
+    @contextlib.contextmanager
+    def bound(self, txn: Transaction) -> Iterator[Transaction]:
+        """Run a block with ``txn`` attached to the calling thread.
+
+        On exit the binding is removed again (unless the transaction
+        already finished inside the block, which clears it itself).
+        """
+        self.attach(txn)
+        try:
+            yield txn
+        finally:
+            if getattr(self._current, "txn", None) is txn:
+                self._current.txn = None
 
     def commit(self, txn: Transaction) -> None:
         txn._require_active()

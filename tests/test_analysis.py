@@ -573,6 +573,19 @@ class TestLintGate:
         config = engine_config()
         assert {"_id_mutex", "_mutex", "_condition"} <= set(config.lock_lattice)
 
+    def test_server_mutexes_rank_below_every_engine_latch(self):
+        # The session mutex is held across whole engine calls, so the
+        # lattice must place it (and its registry/pool cousins) below
+        # the engine's own latches.
+        lattice = engine_config().lock_lattice
+        server_locks = {"_session_mutex", "_sessions_mutex", "_pool_mutex"}
+        assert server_locks <= set(lattice)
+        ceiling = max(lattice[name] for name in server_locks)
+        engine_floor = min(
+            level for name, level in lattice.items() if name not in server_locks
+        )
+        assert ceiling < engine_floor
+
     def test_cli_strict_exit_codes(self, tmp_path, capsys):
         clean = tmp_path / "clean.py"
         clean.write_text("def f(x=None):\n    return x\n")

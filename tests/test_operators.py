@@ -196,6 +196,41 @@ class TestSelectIter:
         assert first.oid is not None
         iterator.close()  # generator close propagates to pipeline close
 
+    def test_mid_stream_close_releases_locks_and_operators(self, populated_db):
+        stream = populated_db.select_iter("SELECT v FROM Vehicle v")
+        next(stream)
+        next(stream)
+        # The stream's implicit read transaction holds the scan locks.
+        assert populated_db.txns.active_transactions()
+        assert populated_db.locks.held_snapshot()
+        stream.close()
+        assert stream.closed
+        # Locks gone, transaction gone, leaf scan operator closed.
+        assert populated_db.txns.active_transactions() == []
+        assert populated_db.locks.held_snapshot() == []
+        assert stream._pipeline.source._iter is None
+        with pytest.raises(StopIteration):
+            next(stream)
+        stream.close()  # idempotent
+
+    def test_mid_stream_close_under_explicit_txn_keeps_txn(self, populated_db):
+        with populated_db.txns.begin() as txn:
+            stream = populated_db.select_iter("SELECT v FROM Vehicle v")
+            next(stream)
+            stream.close()
+            # The caller's transaction owns the scan locks and survives
+            # the stream; only commit/abort releases them.
+            assert txn.is_active
+            assert populated_db.locks.locks_held(txn.txn_id)
+        assert populated_db.locks.held_snapshot() == []
+
+    def test_exhausted_stream_self_closes(self, populated_db):
+        stream = populated_db.select_iter("Vehicle where weight > 7500")
+        for _handle in stream:
+            pass
+        assert populated_db.txns.active_transactions() == []
+        assert populated_db.locks.held_snapshot() == []
+
     def test_rejects_aggregates_and_projections(self, populated_db):
         with pytest.raises(QueryError):
             list(populated_db.select_iter("SELECT COUNT(v) FROM Vehicle v"))
