@@ -58,6 +58,10 @@ def test_unselective_query_uses_scan(sweep_db, benchmark):
 
 
 def test_crossover_summary(sweep_db):
+    # The artifact's cost counters must reflect only this fixed sweep,
+    # not however many warm-up iterations pytest-benchmark calibrated for
+    # the two timing tests above (that count drifts with machine speed).
+    sweep_db.metrics.reset()
     rows = []
     series = []
     saw_index = saw_scan = False

@@ -1,0 +1,303 @@
+"""Abstract value domains for predicate analysis.
+
+The rewrite pass (:mod:`repro.analysis.rewrite`) reasons about the set
+of values one attribute path can take under a conjunction of sargable
+predicates.  This module is that reasoning: a :class:`PathConstraints`
+accumulator folds comparisons over *one* path into an interval + point
+constraints and decides, conservatively, whether the conjunction is
+satisfiable at all and what index-range bound it implies.
+
+Soundness rests on the engine's own comparison semantics
+(:func:`repro.query.paths.compare`): the accumulator only draws
+conclusions it can witness through ``compare`` itself, so analysis and
+execution can never disagree about edge cases (``None`` fails every
+ordered comparison, ``!=`` is the literal negation of ``=``, booleans
+never equal integers, cross-type ordered comparisons are False).
+
+The caller is responsible for the *path* side of soundness: constraints
+may only be accumulated for paths that yield **at most one** terminal
+value per object (no set-valued step along the path) — under the
+engine's existential path semantics a multi-valued path can satisfy
+``p > 5 AND p < 3`` with two different elements, so interval reasoning
+would be wrong there.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from ..query.paths import compare
+
+#: Domains where the integer-tightening refinement applies.
+_INTEGER_DOMAIN = "Integer"
+_BOOLEAN_DOMAIN = "Boolean"
+
+#: Enumerating candidate integers inside a finite interval is bounded so
+#: a silly ``x > 0 AND x < 10**9 AND x != 5`` can't stall analysis.
+_MAX_ENUMERATION = 256
+
+
+def _lt(a: Any, b: Any) -> Optional[bool]:
+    """``a < b`` or None when the values are not order-comparable."""
+    try:
+        return bool(a < b)
+    except TypeError:
+        return None
+
+
+class Bound:
+    """One side of an interval: a value and whether it is inclusive."""
+
+    __slots__ = ("value", "inclusive")
+
+    def __init__(self, value: Any, inclusive: bool) -> None:
+        self.value = value
+        self.inclusive = inclusive
+
+    def __repr__(self) -> str:
+        return "Bound(%r, %s)" % (self.value, "incl" if self.inclusive else "excl")
+
+
+class PathConstraints:
+    """Conjunction of comparisons over one at-most-one-valued path.
+
+    ``add`` folds one comparison; ``contradiction`` returns a reason
+    string when no single value (including ``None``) can satisfy the
+    conjunction; ``sargable`` returns the implied two-sided range when
+    one exists.
+    """
+
+    def __init__(self, domain: Optional[str] = None) -> None:
+        self.domain = domain
+        self.eq: List[Any] = []
+        self.neq: List[Any] = []
+        #: Each entry is one IN list (the value must match some member
+        #: of every list).
+        self.ins: List[List[Any]] = []
+        self.likes: List[str] = []
+        self.low: Optional[Bound] = None
+        self.high: Optional[Bound] = None
+        #: A conjunct that is false for every value (e.g. an ordered
+        #: comparison against a None literal, or an empty IN list).
+        self.always_false: Optional[str] = None
+        #: True once any *positive* constraint (one that a None value
+        #: cannot satisfy, i.e. anything but ``!=``) has been added.
+        self.positive = False
+
+    # -- accumulation ------------------------------------------------------
+
+    def add(self, op: str, value: Any) -> None:
+        """Fold ``path op value`` into the constraint set."""
+        if op in ("=", "contains"):
+            self.positive = True
+            self.eq.append(value)
+        elif op == "!=":
+            self.neq.append(value)
+        elif op == "in":
+            self.positive = True
+            values = list(value) if isinstance(value, (list, tuple)) else [value]
+            if not values:
+                self.always_false = "IN over an empty list matches nothing"
+            else:
+                self.ins.append(values)
+        elif op == "like":
+            self.positive = True
+            if isinstance(value, str):
+                self.likes.append(value)
+            else:
+                self.always_false = "LIKE requires a string pattern"
+        elif op in ("<", "<=", ">", ">="):
+            self.positive = True
+            if value is None:
+                self.always_false = (
+                    "ordered comparison against null matches nothing"
+                )
+                return
+            inclusive = op in ("<=", ">=")
+            if op in (">", ">="):
+                self.low = self._tighter(self.low, value, inclusive, lower=True)
+            else:
+                self.high = self._tighter(self.high, value, inclusive, lower=False)
+
+    @staticmethod
+    def _tighter(
+        current: Optional[Bound], value: Any, inclusive: bool, lower: bool
+    ) -> Bound:
+        if current is None:
+            return Bound(value, inclusive)
+        lt = _lt(current.value, value)
+        if lt is None:
+            # Incomparable bound types: no value can satisfy both, which
+            # ``contradiction`` detects; keep the older bound meanwhile.
+            return current
+        replace = lt if lower else (not lt and _lt(value, current.value))
+        if lt is False and _lt(value, current.value) is False:
+            # Equal bound values: exclusive wins (it is tighter).
+            if not inclusive and current.inclusive:
+                return Bound(value, inclusive)
+            return current
+        return Bound(value, inclusive) if replace else current
+
+    # -- decision ----------------------------------------------------------
+
+    def _admits(self, value: Any) -> bool:
+        """Whether one concrete value satisfies every accumulated constraint."""
+        for required in self.eq:
+            if not compare("=", value, required):
+                return False
+        for excluded in self.neq:
+            if not compare("!=", value, excluded):
+                return False
+        for members in self.ins:
+            if not compare("in", value, members):
+                return False
+        for pattern in self.likes:
+            if not compare("like", value, pattern):
+                return False
+        if self.low is not None:
+            if not compare(">=" if self.low.inclusive else ">", value, self.low.value):
+                return False
+        if self.high is not None:
+            if not compare("<=" if self.high.inclusive else "<", value, self.high.value):
+                return False
+        return True
+
+    def _candidates(self) -> Optional[List[Any]]:
+        """A finite set the value must belong to, when one is known."""
+        if self.eq:
+            return [self.eq[0]]
+        if self.ins:
+            return list(self.ins[0])
+        if self.domain == _BOOLEAN_DOMAIN:
+            # A boolean attribute can only ever hold these (None included:
+            # a null flag satisfies every ``!=`` against a non-null literal).
+            candidates: List[Any] = [True, False]
+            if not self.positive:
+                candidates.append(None)
+            return candidates
+        return None
+
+    def _integer_candidates(self) -> Optional[List[Any]]:
+        """Enumerate a small finite integer interval, if there is one."""
+        if self.domain != _INTEGER_DOMAIN or self.low is None or self.high is None:
+            return None
+        low, high = self.low.value, self.high.value
+        if not isinstance(low, (int, float)) or not isinstance(high, (int, float)):
+            return None
+        if isinstance(low, bool) or isinstance(high, bool):
+            return None
+        import math
+
+        lo = math.ceil(low)
+        if lo == low and not self.low.inclusive:
+            lo += 1
+        hi = math.floor(high)
+        if hi == high and not self.high.inclusive:
+            hi -= 1
+        if hi - lo + 1 > _MAX_ENUMERATION:
+            return None
+        return list(range(int(lo), int(hi) + 1))
+
+    def contradiction(self) -> Optional[str]:
+        """Reason no value satisfies the conjunction, or None if one might."""
+        if self.always_false is not None:
+            return self.always_false
+        for other in self.eq[1:]:
+            if not compare("=", self.eq[0], other):
+                return "equality constraints %r and %r conflict" % (
+                    self.eq[0],
+                    other,
+                )
+        candidates = self._candidates()
+        if candidates is None:
+            candidates = self._integer_candidates()
+        if candidates is not None:
+            if not any(self._admits(value) for value in candidates):
+                return "no candidate value satisfies every conjunct"
+            return None
+        if self.low is not None and self.high is not None:
+            low, high = self.low.value, self.high.value
+            lt = _lt(low, high)
+            if lt is None:
+                # Bounds of incomparable types: a value satisfying the
+                # lower bound can never satisfy the upper one.
+                return "range bounds %r and %r are of incomparable types" % (
+                    low,
+                    high,
+                )
+            if not lt:
+                eq_bounds = _lt(high, low) is False
+                if eq_bounds and self.low.inclusive and self.high.inclusive:
+                    if not self._admits(low):
+                        return "the single in-range value %r is excluded" % (low,)
+                    return None
+                return "range (%r, %r) is empty" % (low, high)
+        return None
+
+    def sargable(self) -> Optional[Tuple[Any, bool, Any, bool]]:
+        """The two-sided index range the conjunction implies, if any."""
+        if self.always_false is not None or self.eq or self.ins:
+            return None
+        if self.low is None or self.high is None:
+            return None
+        return (self.low.value, self.low.inclusive, self.high.value, self.high.inclusive)
+
+    def __repr__(self) -> str:
+        return "<PathConstraints eq=%r neq=%r low=%r high=%r>" % (
+            self.eq,
+            self.neq,
+            self.low,
+            self.high,
+        )
+
+
+def comparison_implies(op_a: str, const_a: Any, op_b: str, const_b: Any) -> bool:
+    """Conservatively: does ``v op_a const_a`` guarantee ``v op_b const_b``?
+
+    Used to drop a conjunct that is already implied by another conjunct
+    on the same path (``x > 10`` makes ``x > 5`` tautological).  Only
+    returns True when the implication holds for *every* possible value
+    under the engine's comparison semantics; unknown cases answer False.
+    """
+    # A finite witness set: v must equal one of these, so checking the
+    # witnesses checks every admissible value.  ``like`` is excluded as a
+    # consequence unless the witnesses are strings (a numeric witness
+    # equal under ``=`` could still stringify differently).
+    witnesses: Optional[List[Any]] = None
+    if op_a in ("=", "contains"):
+        witnesses = [const_a]
+    elif op_a == "in" and isinstance(const_a, (list, tuple)) and const_a:
+        witnesses = list(const_a)
+    if witnesses is not None:
+        if op_b == "like" and not all(isinstance(w, str) for w in witnesses):
+            return False
+        return all(compare(op_b, w, const_b) for w in witnesses)
+    if op_a in (">", ">=") and op_b in (">", ">="):
+        need_strict = op_a == ">=" and op_b == ">"
+        relation = _lt(const_b, const_a)
+        if relation is None:
+            return False
+        if need_strict:
+            return relation
+        return relation or _lt(const_a, const_b) is False
+    if op_a in ("<", "<=") and op_b in ("<", "<="):
+        need_strict = op_a == "<=" and op_b == "<"
+        relation = _lt(const_a, const_b)
+        if relation is None:
+            return False
+        if need_strict:
+            return relation
+        return relation or _lt(const_b, const_a) is False
+    if op_b == "!=":
+        # A bound excludes the point const_b when const_b lies strictly
+        # outside the admissible region (or is order-incomparable with
+        # it — then no admissible value can equal it either).
+        if op_a == ">":
+            return _lt(const_a, const_b) is not True
+        if op_a == ">=":
+            return _lt(const_b, const_a) is not False
+        if op_a == "<":
+            return _lt(const_b, const_a) is not True
+        if op_a == "<=":
+            return _lt(const_a, const_b) is not False
+    return False

@@ -42,6 +42,14 @@ hard gate over ``src/repro``:
     (``histogram.time()``, ``tracer.span()``, ``WaitProfiler.record``).
     A genuine wall-clock *timestamp* (export ``generated_at``,
     transaction start time) carries the pragma.
+``async-blocking-call``
+    Inside ``repro.server`` coroutine bodies, no blocking engine call:
+    ``*.db.<method>()`` (every ``Database`` entry point may take locks
+    and do page I/O), ``open()``, ``.acquire()``, and synchronous
+    ``with <lock>:`` all stall the event loop and every connected
+    client with it.  Blocking work must be dispatched through the
+    session thread pool (``loop.run_in_executor``); the counter-only
+    fast path ``*.db.metrics.*`` is exempt.
 
 A violation can be baselined in place with an inline pragma::
 
@@ -67,6 +75,7 @@ ALL_RULES = (
     "bare-except",
     "operator-materialization",
     "wall-clock-duration",
+    "async-blocking-call",
 )
 
 #: Nested packages that are privacy domains of their own: files under
@@ -148,6 +157,10 @@ ENGINE_LOCK_LATTICE: Dict[str, int] = {
     "_session_mutex": 2,
     "_sessions_mutex": 4,
     "_pool_mutex": 6,
+    # The plan cache's mutex is a planner-side leaf: nothing else is
+    # ever acquired while holding it, and it nests inside no engine
+    # latch (lookups happen before scan locks are taken).
+    "_plan_cache_mutex": 8,
     "_id_mutex": 10,
     "_mutex": 20,
     "_condition": 20,
@@ -216,6 +229,8 @@ class Linter:
             self._check_operator_materialization(tree, path, violations)
         if "wall-clock-duration" in run:
             self._check_wall_clock(tree, path, violations)
+        if "async-blocking-call" in run and subpackage == "server":
+            self._check_async_blocking(tree, path, violations)
         return [v for v in violations if not _silenced(v, pragmas)]
 
     # -- simple rules ----------------------------------------------------
@@ -475,6 +490,81 @@ class Linter:
                         "mark a genuine timestamp with the pragma",
                     )
                 )
+
+    # -- event-loop discipline -------------------------------------------
+
+    def _check_async_blocking(self, tree, path, out) -> None:
+        """Flag blocking engine calls inside server coroutine bodies.
+
+        The network front end runs one asyncio event loop; every
+        ``Database`` entry point may take locks, wait on other
+        transactions and do page I/O, so calling one from a coroutine
+        stalls *all* connected clients.  The server's contract is that
+        blocking work goes through the session thread pool
+        (``loop.run_in_executor``); passing a callable there is fine —
+        this rule only flags direct *calls* made on the loop itself.
+        """
+        for node in ast.walk(tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                for stmt in node.body:
+                    self._scan_coroutine(stmt, path, out)
+
+    def _scan_coroutine(self, node, path, out) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # Nested defs don't run here; a nested coroutine gets its
+            # own top-level walk, and a nested sync def is the body the
+            # executor runs off-loop.
+            return
+        if isinstance(node, ast.With):
+            for item in node.items:
+                name = _lock_name(item.context_expr, set(self.config.lock_lattice))
+                if name is not None:
+                    out.append(
+                        Violation(
+                            "async-blocking-call",
+                            path,
+                            item.context_expr.lineno,
+                            item.context_expr.col_offset,
+                            "synchronously acquires lock %r in a coroutine; "
+                            "a contended lock stalls the event loop — "
+                            "dispatch via run_in_executor" % name,
+                        )
+                    )
+        elif isinstance(node, ast.Call):
+            blocking = self._blocking_call_description(node)
+            if blocking is not None:
+                out.append(
+                    Violation(
+                        "async-blocking-call",
+                        path,
+                        node.lineno,
+                        node.col_offset,
+                        "%s in a coroutine blocks the event loop; dispatch "
+                        "through the session thread pool "
+                        "(loop.run_in_executor)" % blocking,
+                    )
+                )
+        for child in ast.iter_child_nodes(node):
+            self._scan_coroutine(child, path, out)
+
+    @staticmethod
+    def _blocking_call_description(node: ast.Call) -> Optional[str]:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            return "open() does blocking file I/O"
+        if not isinstance(func, ast.Attribute):
+            return None
+        if func.attr == "acquire":
+            return ".acquire() blocks on lock acquisition"
+        # ``<anything>.db.<method>(...)`` — a Database entry point.  The
+        # metrics registry hangs off db too, but counter bumps never
+        # block, so ``*.db.metrics.*`` chains (value.attr != 'db') pass.
+        value = func.value
+        if isinstance(value, ast.Attribute) and value.attr == "db":
+            return "engine call .db.%s()" % func.attr
+        if isinstance(value, ast.Name) and value.id == "db":
+            return "engine call db.%s()" % func.attr
+        return None
 
     # -- cross-package privacy -------------------------------------------
 

@@ -16,6 +16,8 @@ import contextlib
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 from .analysis.diagnostics import DiagnosticReport
+from .analysis.plancache import PlanCache
+from .analysis.rewrite import RewriteResult, rewrite_query
 from .analysis.semantic import SemanticAnalyzer
 from .core.attribute import AttributeDef
 from .core.klass import ClassDef
@@ -32,7 +34,7 @@ from .obs.waits import WaitProfiler
 from .query.ast import AdtPredicate, Query
 from .query.executor import Executor, ResultSet
 from .query.parser import parse_query
-from .query.planner import Plan, Planner
+from .query.planner import EmptyScan, Plan, Planner
 from .storage.clustering import ClusteringPolicy, NoClustering
 from .storage.manager import StorageManager
 from .txn.locks import (
@@ -240,6 +242,14 @@ class Database:
             self.schema, self.indexes, self._extent_count,
             system_catalog=self.syscat,
         )
+        #: Normalized-plan cache: hot queries skip parse/analyze/plan.
+        #: Eagerly purged on schema evolution via the schema listener;
+        #: index create/drop and extent-size doubling invalidate lazily
+        #: through the entry's epoch token.
+        self.plan_cache = PlanCache(
+            self.schema, self.indexes, self._extent_count, self.metrics
+        )
+        self.schema.on_change(self.plan_cache.on_schema_change)
         #: Per-operator counters of the last *user* query (system-view
         #: queries never overwrite it — observing must not perturb the
         #: observed); served by the SysOperator view.
@@ -255,6 +265,11 @@ class Database:
         self._m_executes = self.metrics.counter("query.executes")
         self._m_query_rows = self.metrics.counter("query.rows")
         self._m_query_seconds = self.metrics.histogram("query.seconds")
+        self._m_rewrites = self.metrics.counter("rewrite.queries")
+        self._m_rewrite_rules = self.metrics.counter("rewrite.rules_applied")
+        self._m_rewrite_contradictions = self.metrics.counter(
+            "rewrite.contradictions"
+        )
         #: True while a transaction rollback is replaying compensations;
         #: cascading side-effects (composite delete propagation) are
         #: suppressed — each mutation has its own compensation.
@@ -296,6 +311,10 @@ class Database:
                 self.schema, self.indexes, self._extent_count,
                 system_catalog=self.syscat,
             )
+            self.plan_cache = PlanCache(
+                self.schema, self.indexes, self._extent_count, self.metrics
+            )
+            self.schema.on_change(self.plan_cache.on_schema_change)
         if recover_on_open:
             _recover(self.wal, self.storage, registry=self.metrics)
         self._oids.advance_past(self.storage.directory.max_oid_value())
@@ -682,7 +701,13 @@ class Database:
             return self.syscat.check(parsed, source)
         if self.views is not None:
             parsed = self.views.rewrite(parsed)
-        return self._analyze(parsed, source)
+        report = self._analyze(parsed, source)
+        if report.ok:
+            # Static rewrite analysis rides along: REW diagnostics
+            # (proven contradictions, eliminated tautologies, derived
+            # sargable ranges) are informational, never errors.
+            self._rewrite(parsed, report)
+        return report
 
     def _analyze(self, query: Query, source: Optional[str]) -> DiagnosticReport:
         with self.tracer.span("query.check", target=query.target_class):
@@ -696,7 +721,9 @@ class Database:
         """Fail fast: raise before planning when analysis found errors."""
         report = self._analyze(query, source)
         if not report.ok:
-            raise SemanticError(report.render(), report.diagnostics)
+            raise SemanticError(
+                report.render(), report.diagnostics, source=report.source
+            )
         return report
 
     def _system_gate(self, query: Query, source: Optional[str]) -> DiagnosticReport:
@@ -705,8 +732,66 @@ class Database:
             report = self.syscat.check(query, source)
         self._m_checks.inc()
         if not report.ok:
-            raise SemanticError(report.render(), report.diagnostics)
+            raise SemanticError(
+                report.render(), report.diagnostics, source=report.source
+            )
         return report
+
+    def _rewrite(self, query: Query, report: DiagnosticReport) -> RewriteResult:
+        """The static analysis pass between check() and plan().
+
+        Normalizes the WHERE clause and runs interval/type-domain
+        analysis; the resulting facts (proven contradiction, sargable
+        ranges) feed the planner.  REW diagnostics are appended to the
+        semantic report so every downstream consumer (EXPLAIN, the
+        server's error payloads, ``check()``) sees them.
+        """
+        with self.tracer.span("query.rewrite", target=query.target_class):
+            rewritten = rewrite_query(
+                self.schema, query, exclude_classes=report.pruned_classes
+            )
+        self._m_rewrites.inc()
+        if rewritten.rules:
+            self._m_rewrite_rules.inc(len(rewritten.rules))
+        if rewritten.facts.contradiction:
+            self._m_rewrite_contradictions.inc()
+        report.diagnostics.extend(rewritten.diagnostics)
+        return rewritten
+
+    def _plan_user_query(
+        self,
+        query: Query,
+        report: DiagnosticReport,
+        source: Optional[str],
+        cacheable: bool = True,
+    ) -> Plan:
+        """Rewrite, consult the plan cache, and plan on a miss."""
+        rewritten = self._rewrite(query, report)
+        if cacheable:
+            entry = self.plan_cache.get(rewritten.fingerprint, source=source)
+            if entry is not None:
+                entry.plan.cached = True
+                return entry.plan
+        with self.tracer.span("query.plan", target=query.target_class):
+            plan = self.planner.plan(
+                rewritten.query,
+                exclude_classes=report.pruned_classes,
+                facts=rewritten.facts,
+            )
+        plan.rewrite = rewritten
+        self._m_plans.inc()
+        if cacheable:
+            digest = (
+                "contradiction"
+                if rewritten.facts.contradiction
+                else ";".join(
+                    ".".join(steps) for steps in sorted(rewritten.facts.ranges)
+                )
+            )
+            self.plan_cache.put(
+                rewritten.fingerprint, plan, report, digest, source=source
+            )
+        return plan
 
     def plan(self, query: Union[str, Query]) -> Plan:
         source = query if isinstance(query, str) else None
@@ -716,10 +801,7 @@ class Database:
             self._m_plans.inc()
             return self.planner.plan(query)
         report = self._semantic_gate(query, source)
-        with self.tracer.span("query.plan", target=query.target_class):
-            plan = self.planner.plan(query, exclude_classes=report.pruned_classes)
-        self._m_plans.inc()
-        return plan
+        return self._plan_user_query(query, report, source)
 
     def execute(self, query: Union[str, Query]) -> ResultSet:
         """Plan and run a query, returning the full result set object."""
@@ -732,6 +814,17 @@ class Database:
         is the paper's content-based authorization), rewrite views, run
         the semantic gate, plan, and take the class scan locks."""
         source = query if isinstance(query, str) else None
+        if source is not None:
+            # Repeated identical query text: skip even parsing.  Authz
+            # and scan locks are NOT cached — they are per-caller and
+            # per-transaction, so both re-run on every hit.
+            entry = self.plan_cache.get_source(source)
+            if entry is not None:
+                plan = entry.plan
+                plan.cached = True
+                self._check_authz("read", plan.query.target_class)
+                self._take_scan_locks(plan)
+                return plan.query, plan, entry.report, False
         query = self._parse(query)
         if self.syscat.is_system(query.target_class):
             # System views are observability metadata, not stored objects:
@@ -747,14 +840,25 @@ class Database:
         if self.views is not None:
             query = self.views.rewrite(query)
         report = self._semantic_gate(query, source)
-        with self.tracer.span("query.plan", target=query.target_class):
-            plan = self.planner.plan(query, exclude_classes=report.pruned_classes)
-        self._m_plans.inc()
+        # View-targeted queries are planned fresh each time: a view
+        # redefinition would not bump the schema epoch the cache keys on.
+        plan = self._plan_user_query(query, report, source, cacheable=not was_view)
+        self._take_scan_locks(plan)
+        return plan.query, plan, report, was_view
+
+    def _take_scan_locks(self, plan: Plan) -> None:
+        """Shared scan locks over the plan's scope, under the current txn.
+
+        A plan the rewrite pass proved contradictory executes through
+        :class:`~repro.query.operators.leaves.EmptyScanOp` without ever
+        touching storage — so it takes no locks at all.
+        """
+        if isinstance(plan.access, EmptyScan):
+            return
         current = self.txns.current
         if current is not None:
             for cls in plan.scope:
                 self._lock_class_scan(current, cls)
-        return query, plan, report, was_view
 
     def _execute(self, query: Union[str, Query], analyze: bool):
         with self.tracer.span("query.execute"), self._m_query_seconds.time():

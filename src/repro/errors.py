@@ -114,9 +114,15 @@ class SemanticError(QueryError):
     source span) instead of parsing the rendered message.
     """
 
-    def __init__(self, message, diagnostics=()):
+    def __init__(self, message, diagnostics=(), source=None):
         super().__init__(message)
         self.diagnostics = list(diagnostics)
+        #: The original query text, when the error came from analyzing a
+        #: parsed string.  Needed to resolve each diagnostic's character
+        #: span into line/column/caret — the server serializes those into
+        #: the SEMANTIC error payload so remote clients see the same
+        #: pointed-at-source message a local caller gets.
+        self.source = source
 
 
 class PlanningError(QueryError):

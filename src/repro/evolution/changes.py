@@ -13,6 +13,12 @@ dropping an attribute is a metadata-only operation — stored records are
 coerced to the current class definition when loaded (experiment E12).
 Renames and class drops rewrite eagerly because the stored names would
 otherwise be unrecoverable.
+
+Every change lands through ``Schema._bump``, which bumps the schema
+version and notifies listeners — in particular the plan cache
+(:mod:`repro.analysis.plancache`), which eagerly purges every cached
+plan: a plan compiled against the old class definition must never run
+against the new one.
 """
 
 from __future__ import annotations

@@ -41,6 +41,11 @@ class IndexManager:
         self._deref = deref
         self._indexes: Dict[str, Index] = {}
         self._registry = registry
+        #: Monotonic index-set epoch: bumped whenever an index is created
+        #: or dropped.  Cached plans capture the epoch they were built
+        #: under; a mismatch invalidates them (a plan probing a dropped
+        #: index, or missing a new one, must be replanned).
+        self.epoch = 0
 
     # -- registry ------------------------------------------------------------
 
@@ -60,6 +65,7 @@ class IndexManager:
         if name not in self._indexes:
             raise SchemaError("no index named %r" % (name,))
         del self._indexes[name]
+        self.epoch += 1
 
     def _register(self, index: Index) -> Index:
         if index.name in self._indexes:
@@ -67,6 +73,7 @@ class IndexManager:
         if self._registry is not None:
             index.bind_metrics(self._registry)
         self._indexes[index.name] = index
+        self.epoch += 1
         self._build(index)
         return index
 

@@ -102,6 +102,7 @@ def operator_tree(plan, pipeline) -> PlanNode:
     """
     from ..query.planner import (
         AdtIndexProbe,
+        EmptyScan,
         ExtentScan,
         IndexEqProbe,
         IndexInProbe,
@@ -122,6 +123,8 @@ def operator_tree(plan, pipeline) -> PlanNode:
     access = plan.access
     if isinstance(access, ExtentScan):
         op, access_kind = "extent-scan", "scan"
+    elif isinstance(access, EmptyScan):
+        op, access_kind = "empty-scan", "empty"
     elif isinstance(access, IndexEqProbe):
         op, access_kind = "index-eq-probe", "index"
     elif isinstance(access, IndexInProbe):
@@ -199,6 +202,13 @@ class ExplainResult:
             )
         lines.append("-- plan --")
         lines.append(self.root.render())
+        rewrite = getattr(self.plan, "rewrite", None)
+        if rewrite is not None and (rewrite.rules or getattr(self.plan, "cached", False)):
+            lines.append("-- rewrite --")
+            if getattr(self.plan, "cached", False):
+                lines.append("plan cache: hit")
+            for name, detail in rewrite.rules:
+                lines.append("%s: %s" % (name, detail) if detail else name)
         if self.diagnostics is not None and len(self.diagnostics):
             lines.append("-- analysis --")
             lines.append(self.diagnostics.render())

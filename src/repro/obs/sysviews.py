@@ -100,6 +100,20 @@ SYSTEM_VIEWS: Dict[str, Tuple[Tuple[str, ...], str]] = {
         ("position", "op", "detail", "rows_out", "elapsed"),
         "operator pipeline of the last user query",
     ),
+    "SysPlanCache": (
+        (
+            "fingerprint",
+            "target",
+            "source",
+            "access",
+            "hits",
+            "schema_epoch",
+            "index_epoch",
+            "rules",
+            "age_seconds",
+        ),
+        "cached query plans keyed on normalized-AST fingerprints",
+    ),
 }
 
 
@@ -190,6 +204,12 @@ class SystemViewsAdapter(Adapter):
                 "threshold": op.threshold,
                 "target": op.tags.get("target"),
             }
+
+    def _rows_sysplancache(self) -> Iterator[Row]:
+        cache = getattr(self.db, "plan_cache", None)
+        if cache is None:
+            return iter(())
+        return iter(cache.rows())
 
     def _rows_sysoperator(self) -> Iterator[Row]:
         for position, stats in enumerate(self.db.last_operator_stats or []):

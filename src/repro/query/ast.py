@@ -280,3 +280,50 @@ def conjuncts(expr: Optional[Expr]) -> List[Expr]:
             out.extend(conjuncts(operand))
         return out
     return [expr]
+
+
+def _const_token(value: Any) -> str:
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_const_token(item) for item in value) + "]"
+    return "%s:%r" % (type(value).__name__, value)
+
+
+def structural_key(expr: Optional[Expr]) -> str:
+    """A deterministic serialization of an expression's structure.
+
+    Two expressions with the same key are structurally identical (same
+    operators, paths and literals, in the same operand order); spans and
+    object identity are ignored.  The rewrite pass uses keys for operand
+    deduplication, commutative canonical ordering and the normalized-AST
+    fingerprint the plan cache is keyed on.
+    """
+    if expr is None:
+        return "true"
+    if isinstance(expr, Comparison):
+        return "(%s %s %s)" % (
+            ".".join(expr.path.steps),
+            expr.op,
+            _const_token(expr.const.value),
+        )
+    if isinstance(expr, MethodCall):
+        prefix = ".".join(expr.path.steps) + "." if expr.path is not None else ""
+        return "(%s%s(%s) %s %s)" % (
+            prefix,
+            expr.selector,
+            ",".join(_const_token(a) for a in expr.args),
+            expr.op,
+            _const_token(expr.const.value),
+        )
+    if isinstance(expr, AdtPredicate):
+        return "adt:%s(%s;%s)" % (
+            expr.name,
+            ".".join(expr.path.steps),
+            ",".join(_const_token(a) for a in expr.args),
+        )
+    if isinstance(expr, Not):
+        return "not" + structural_key(expr.operand)
+    if isinstance(expr, And):
+        return "and(" + ";".join(structural_key(o) for o in expr.operands) + ")"
+    if isinstance(expr, Or):
+        return "or(" + ";".join(structural_key(o) for o in expr.operands) + ")"
+    return "%s:%r" % (type(expr).__name__, expr)

@@ -48,6 +48,26 @@ class ExtentScanOp(PhysicalOperator):
         self._iter = None
 
 
+class EmptyScanOp(PhysicalOperator):
+    """Produce nothing: the rewrite pass proved no object can match.
+
+    The short-circuit leaf for provably-contradictory predicates — it
+    never touches storage, probes no index and dereferences nothing, so
+    a contradictory query's execution cost is exactly zero rows.
+    """
+
+    name = "empty-scan"
+
+    def __init__(self, classes: Sequence[str], reason: str = "") -> None:
+        super().__init__()
+        self.classes = tuple(classes)
+        self.reason = reason
+        self.detail = "empty(%s)" % ", ".join(self.classes)
+
+    def _next(self) -> None:
+        return None
+
+
 class IndexProbeOp(PhysicalOperator):
     """One index probe; yields the candidate OIDs it returned.
 

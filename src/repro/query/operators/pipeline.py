@@ -15,6 +15,7 @@ from ...core.oid import OID
 from ...errors import QueryError
 from ..planner import (
     AdtIndexProbe,
+    EmptyScan,
     ExtentScan,
     IndexEqProbe,
     IndexInProbe,
@@ -24,7 +25,13 @@ from ..planner import (
     SystemScan,
 )
 from .base import PhysicalOperator
-from .leaves import ExtentScanOp, IndexOrderScanOp, IndexProbeOp, VirtualScanOp
+from .leaves import (
+    EmptyScanOp,
+    ExtentScanOp,
+    IndexOrderScanOp,
+    IndexProbeOp,
+    VirtualScanOp,
+)
 from .unary import (
     AggregateOp,
     DerefOp,
@@ -118,6 +125,8 @@ def compile_plan(plan: Plan, kernel, scan_class) -> Pipeline:
 
     if isinstance(access, ExtentScan):
         source: PhysicalOperator = ExtentScanOp(scan_class, access.classes)
+    elif isinstance(access, EmptyScan):
+        source = EmptyScanOp(access.classes, access.reason)
     elif isinstance(access, SystemScan):
         # System views scan generated rows; ``scan_class`` here is the
         # system catalog's row producer, not the storage extent walker.

@@ -38,6 +38,21 @@ class ExtentScan(AccessPath):
         self.description = "scan(%s)" % ", ".join(self.classes)
 
 
+class EmptyScan(AccessPath):
+    """Produce no candidates: the predicate is provably unsatisfiable.
+
+    Emitted when the rewrite pass (:mod:`repro.analysis.rewrite`) proves
+    the WHERE clause contradictory.  The executor compiles it to an
+    operator that touches no storage, and ``Database`` skips scan locks
+    for it — a provably-empty query costs nothing beyond its analysis.
+    """
+
+    def __init__(self, classes: Sequence[str], reason: str = "") -> None:
+        self.classes = list(classes)
+        self.reason = reason
+        self.description = "empty-scan(%s)" % ", ".join(self.classes)
+
+
 class IndexEqProbe(AccessPath):
     def __init__(self, index: Index, value: Any) -> None:
         self.index = index
@@ -135,6 +150,12 @@ class Plan:
         self.residual = residual
         self.estimated_cost = estimated_cost
         self.notes = notes or []
+        #: The :class:`~repro.analysis.rewrite.RewriteResult` this plan
+        #: was built from (set by ``Database``; None for direct planner
+        #: calls).  EXPLAIN renders its applied rules.
+        self.rewrite = None
+        #: True once this plan has been served from the plan cache.
+        self.cached = False
 
     def explain(self) -> str:
         lines = [
@@ -186,7 +207,9 @@ class Planner:
 
     # -- public API --------------------------------------------------------
 
-    def plan(self, query: Query, exclude_classes: Sequence[str] = ()) -> Plan:
+    def plan(
+        self, query: Query, exclude_classes: Sequence[str] = (), facts=None
+    ) -> Plan:
         # System statistics views bypass schema validation entirely: they
         # are not classes, have no hierarchy, no extents and no indexes.
         if self.system_catalog is not None and self.system_catalog.is_system(
@@ -210,6 +233,17 @@ class Planner:
         )
         scope = scope - set(pruned)
         self._validate(query, scope)
+        # Abstract interpretation proved no object can match: an empty
+        # scan touches no extents, probes no indexes, takes no locks.
+        if facts is not None and facts.contradiction:
+            return Plan(
+                query,
+                scope,
+                EmptyScan(sorted(scope), facts.reason or ""),
+                query.where,
+                0.0,
+                ["rewrite proved the predicate unsatisfiable: %s" % facts.reason],
+            )
         scan_cost = float(sum(self.extent_count(cls) for cls in scope))
 
         best: Optional[Tuple[float, AccessPath, List[Expr]]] = None
@@ -223,6 +257,17 @@ class Planner:
             if best is None or cost < best[0]:
                 residual = predicates[:position] + predicates[position + 1 :]
                 best = (cost, access, residual)
+        for steps, bounds in (facts.ranges if facts is not None else {}).items():
+            candidate = self._facts_range_candidate(query, steps, bounds, scope)
+            if candidate is None:
+                continue
+            cost, access = candidate
+            cost *= self.INDEX_PROBE_PENALTY
+            if best is None or cost < best[0]:
+                # The probe already enforces both bounds, but the filter
+                # above the scan rechecks the full predicate anyway, so
+                # the residual keeps every conjunct.
+                best = (cost, access, list(predicates))
 
         notes: List[str] = []
         if pruned:
@@ -303,6 +348,29 @@ class Planner:
             if attribute not in declared or declared[attribute].multi:
                 return None
         return IndexOrderScan(index, query.descending)
+
+    def _facts_range_candidate(
+        self,
+        query: Query,
+        steps: Tuple[str, ...],
+        bounds: Tuple[Any, bool, Any, bool],
+        scope: Set[str],
+    ) -> Optional[Tuple[float, AccessPath]]:
+        """A two-sided index range probe from rewrite-derived bounds.
+
+        Per-conjunct matching only ever sees one side of a range
+        (``x > 5`` or ``x <= 9``); the rewrite pass proves the conjuncts
+        jointly confine the path to an interval, which probes a much
+        narrower key range.  Sound because the facts are only emitted
+        for paths yielding at most one value per object in every scope
+        class — any matching object's key lies inside the interval.
+        """
+        index = self.indexes.find_index(query.target_class, steps, scope)
+        if index is None:
+            return None
+        low, include_low, high, include_high = bounds
+        cost = float(index.tree.estimate_range(low=low, high=high))
+        return cost, IndexRangeProbe(index, low, high, include_low, include_high)
 
     def _index_candidate(
         self, query: Query, predicate: Expr, scope: Set[str]

@@ -31,6 +31,7 @@ import struct
 from typing import Any, Dict, Optional, Tuple
 
 from ..core.oid import OID
+from ..errors import caret_snippet, source_position
 from ..errors import (
     AuthorizationError,
     DeadlockError,
@@ -64,12 +65,18 @@ class ServerError(KimDBError):
 
     ``code`` is the stable wire code (``LOCK_TIMEOUT``, ``DEADLOCK``,
     ...); ``message`` is the server's human-readable description.
+    ``diagnostics`` carries the structured compile-time findings of a
+    ``SEMANTIC`` error — each with code, severity, character span and
+    resolved line/column/caret — exactly as the server's analyzer
+    produced them, so remote tooling can point at source without
+    re-parsing the rendered message.
     """
 
-    def __init__(self, code: str, message: str) -> None:
+    def __init__(self, code: str, message: str, diagnostics=()) -> None:
         super().__init__("[%s] %s" % (code, message))
         self.code = code
         self.message = message
+        self.diagnostics = list(diagnostics)
 
 
 #: Exception class -> stable wire code, most specific first.  Anything
@@ -178,11 +185,39 @@ def ok_response(request_id: Any, result: Any) -> Dict[str, Any]:
 
 
 def error_response(request_id: Any, exc: BaseException) -> Dict[str, Any]:
-    return {
-        "id": request_id,
-        "ok": False,
-        "error": {"code": error_code(exc), "message": str(exc)},
-    }
+    error: Dict[str, Any] = {"code": error_code(exc), "message": str(exc)}
+    diagnostics = _wire_diagnostics(exc)
+    if diagnostics:
+        error["diagnostics"] = diagnostics
+    return {"id": request_id, "ok": False, "error": error}
+
+
+def _wire_diagnostics(exc: BaseException) -> list:
+    """Structured diagnostics of a semantic/rewrite failure, wire-shaped.
+
+    Each entry is the diagnostic's own ``to_dict`` (severity, code,
+    message, character span) plus — when the failing query's source text
+    is known — the span resolved to 1-based ``line``/``column`` and a
+    ``caret`` snippet, so the client renders the identical
+    pointed-at-source message without owning the query text.
+    """
+    diagnostics = getattr(exc, "diagnostics", None)
+    if not diagnostics:
+        return []
+    source = getattr(exc, "source", None)
+    out = []
+    for diag in diagnostics:
+        entry = dict(diag.to_dict())
+        span = getattr(diag, "span", None)
+        if source is not None and span is not None:
+            line, column = source_position(source, span.start)
+            entry["line"] = line
+            entry["column"] = column
+            entry["caret"] = caret_snippet(
+                source, span.start, max(1, span.end - span.start)
+            )
+        out.append(entry)
+    return out
 
 
 # -- blocking socket helpers (client side) -----------------------------------
@@ -223,4 +258,8 @@ def raise_on_error(payload: Dict[str, Any]) -> Any:
     if not isinstance(error, dict):
         raise ProtocolError("response frame is neither ok nor a typed error")
     return_code = str(error.get("code") or "INTERNAL")
-    raise ServerError(return_code, str(error.get("message") or ""))
+    raise ServerError(
+        return_code,
+        str(error.get("message") or ""),
+        diagnostics=error.get("diagnostics") or (),
+    )

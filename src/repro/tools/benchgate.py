@@ -50,6 +50,8 @@ COST_PREFIXES = (
     "fault.",
     "server.requests",
     "server.rows_streamed",
+    "query.plan_cache.",
+    "rewrite.",
 )
 
 

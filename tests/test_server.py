@@ -398,3 +398,35 @@ class TestServerLifecycle:
         db.close()
         db.close()
         assert db.closed
+
+
+class TestSemanticErrorPayload:
+    """Semantic/rewrite diagnostics must survive the wire with their
+    source spans intact: the remote client gets the same line/column and
+    caret snippet a local caller sees in the rendered message."""
+
+    def test_semantic_error_keeps_span_over_the_wire(self, client):
+        query = "SELECT v FROM Vehicle v WHERE v.bogus = 1"
+        with pytest.raises(ServerError) as err:
+            client.query(query)
+        exc = err.value
+        assert exc.code == "SEMANTIC"
+        assert exc.diagnostics, "SEMANTIC error frame lost its diagnostics"
+        diag = exc.diagnostics[0]
+        assert diag["code"] == "ANA101"
+        assert diag["severity"] == "error"
+        # The span is the character range of `v.bogus` in the query text.
+        start, end = diag["span"]
+        assert query[start:end] == "v.bogus"
+        assert diag["line"] == 1
+        assert diag["column"] == start + 1
+        caret_line, caret = diag["caret"].split("\n")
+        assert caret_line == query
+        assert caret.index("^") == start
+        assert caret.count("^") == end - start
+
+    def test_rewrite_info_diagnostics_do_not_fail_queries(self, client):
+        # A provably-empty query is still a *successful* query: REW001 is
+        # informational, the server returns an empty result, not an error.
+        oids = client.query("Vehicle where weight > 10 and weight < 5")
+        assert oids == []
