@@ -2,10 +2,13 @@
 
 Commit throughput across durability settings (in-memory log, file log
 without fsync, file log with fsync-on-commit), plus a measured crash
-recovery replaying committed work and discarding losers.
+recovery replaying committed work and discarding losers.  The group
+commit comparison measures fsyncs and WALSync waits per commit when
+concurrent committers share one covering sync.
 """
 
 import os
+import threading
 
 import pytest
 from conftest import print_table, timed
@@ -79,6 +82,75 @@ def test_durability_cost_summary(tmp_path):
             db.close()
     print_table("E13a: 5 transactions x 20 inserts", ("configuration", "ms"), rows)
     assert times["memory log"] <= times["file log, fsync on commit"] * 1.5
+
+
+def _concurrent_commits(db, n_threads, txns_per_thread):
+    def worker(base):
+        for i in range(txns_per_thread):
+            db.new("Entry", {"n": base + i})
+
+    threads = [
+        threading.Thread(target=worker, args=(t * txns_per_thread,))
+        for t in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+
+
+def test_group_commit_shares_fsyncs(tmp_path):
+    """E13c: group commit — concurrent committers share WAL syncs.
+
+    With group commit off, N durable commits cost N fsyncs and N WALSync
+    waits; with it on, one leader's fsync covers every commit whose
+    record it flushed, so syncs per commit drop below 1 under load.
+    """
+    results = {}
+    for label, group in (("per-commit fsync", False), ("group commit", True)):
+        db = Database(
+            str(tmp_path / ("gc-%s.pages" % group)), group_commit=group
+        )
+        db.define_class("Entry", attributes=[AttributeDef("n", "Integer")])
+        syncs0 = db.metrics.counter("wal.syncs").value
+        t, _ = timed(_concurrent_commits, db, 8, 12)
+        commits = 8 * 12
+        syncs = db.metrics.counter("wal.syncs").value - syncs0
+        wal_waits = [
+            row
+            for row in db.select("SysWaitEvent where kind = 'WALSync'")
+        ]
+        sync_waits = sum(row["count"] for row in wal_waits)
+        batches = db.metrics.counter("wal.group_commit.batches").value
+        results[label] = {
+            "seconds": t,
+            "syncs": syncs,
+            "sync_waits": sync_waits,
+            "batches": batches,
+            "syncs_per_commit": syncs / commits,
+        }
+        assert db.count("Entry") == commits
+        db.close()
+    print_table(
+        "E13c: 8 threads x 12 durable commits",
+        ("configuration", "fsyncs", "WALSync waits", "batches", "syncs/commit", "ms"),
+        [
+            (
+                label,
+                r["syncs"],
+                r["sync_waits"],
+                r["batches"],
+                round(r["syncs_per_commit"], 3),
+                round(r["seconds"] * 1e3, 1),
+            )
+            for label, r in results.items()
+        ],
+    )
+    # Group commit must collapse fsyncs (and the waits they cause)
+    # below one per commit; per-commit mode pays one each.
+    assert results["per-commit fsync"]["syncs"] >= 96
+    assert results["group commit"]["syncs"] < results["per-commit fsync"]["syncs"]
+    assert results["group commit"]["batches"] >= 1
 
 
 def test_recovery_time_and_correctness(tmp_path):

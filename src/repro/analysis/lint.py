@@ -162,6 +162,14 @@ ENGINE_LOCK_LATTICE: Dict[str, int] = {
     # latch (lookups happen before scan locks are taken).
     "_plan_cache_mutex": 8,
     "_id_mutex": 10,
+    # WAL group commit: the serialization mutex around appends ranks
+    # below the group-commit condition (the sync leader re-enters
+    # _wal_mutex to flush while followers wait on _group_cond, never
+    # holding both in the other order), and the MVCC version store's
+    # mutex is a leaf taken inside commit after WAL durability.
+    "_wal_mutex": 12,
+    "_group_cond": 14,
+    "_store_mutex": 16,
     "_mutex": 20,
     "_condition": 20,
     # The wait profiler's mutex sits above the lock table: the lock

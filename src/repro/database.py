@@ -52,6 +52,7 @@ from .txn.recovery import checkpoint as _checkpoint
 from .txn.recovery import recover as _recover
 from .txn.transaction import Transaction, TransactionManager
 from .txn.wal import WriteAheadLog
+from .versions.store import SnapshotView, VersionStore
 
 
 class DatabaseStats:
@@ -96,13 +97,20 @@ class QueryStream:
     never strand locks until garbage collection happens to run.
     """
 
-    def __init__(self, db: "Database", pipeline, txn, was_view: bool) -> None:
+    def __init__(
+        self, db: "Database", pipeline, txn, was_view: bool, snapshot=None
+    ) -> None:
         self._db = db
         self._pipeline = pipeline
         #: The stream's own read transaction (None when the caller's
-        #: explicit transaction holds the scan locks instead).
+        #: explicit transaction holds the scan locks instead, or when
+        #: the stream reads from an MVCC snapshot and needs no locks).
         self._txn = txn
         self._was_view = was_view
+        #: The stream's :class:`~repro.versions.store.SnapshotView`
+        #: (None when snapshot reads are off).  Ephemeral snapshots are
+        #: closed by :meth:`close`, which moves the version GC horizon.
+        self._snapshot = snapshot
         self._rows = pipeline.rows()
         self._closed = False
 
@@ -113,7 +121,7 @@ class QueryStream:
     def __iter__(self) -> "QueryStream":
         return self
 
-    def __next__(self) -> ObjectHandle:
+    def _advance(self) -> ObjectState:
         if self._closed:
             raise StopIteration
         for state in self._rows:
@@ -126,17 +134,30 @@ class QueryStream:
                 continue
             if self._db.mac is not None and not self._db.mac.read_allowed(oid):
                 continue
-            return ObjectHandle(self._db, oid)
+            return state
         self.close()
         raise StopIteration
 
+    def __next__(self) -> ObjectHandle:
+        return ObjectHandle(self._db, self._advance().oid)
+
+    def next_state(self) -> ObjectState:
+        """Next visible row as its :class:`ObjectState` (server fetch path).
+
+        Same filtering as iteration, but returns the snapshot-resolved
+        state itself instead of a live handle — a handle read would see
+        the *current* stored value, not the stream's snapshot.
+        """
+        return self._advance()
+
     def close(self) -> None:
-        """Close pipeline operators and release stream-held scan locks.
+        """Close pipeline operators and release stream-held resources.
 
         Idempotent.  Locks taken under a caller-provided transaction are
         left alone (strict two-phase locking: they belong to that
         transaction until it ends); only the stream's own implicit read
-        transaction is finished here.
+        transaction is finished here, and only an ephemeral snapshot —
+        not one bound to the caller's transaction — is closed.
         """
         if self._closed:
             return
@@ -145,6 +166,7 @@ class QueryStream:
         if self._txn is not None and self._txn.is_active:
             # Read-only by construction; commit just releases its locks.
             self._txn.commit()
+        self._db._close_query_snapshot(self._snapshot)
 
     def __enter__(self) -> "QueryStream":
         return self
@@ -176,6 +198,13 @@ class Database:
         benchmarks isolating other costs).
     sync_on_commit:
         fsync the WAL on commit (durable databases only).
+    group_commit:
+        Batch concurrent commit fsyncs: one WAL sync covers every
+        transaction whose commit record it flushed (default on; the
+        ``--no-group-commit`` server flag disables it).
+    snapshot_reads:
+        Run read-only queries against an MVCC begin snapshot instead of
+        taking scan locks (default on).  Writers still use strict 2PL.
     """
 
     def __init__(
@@ -189,6 +218,8 @@ class Database:
         recover_on_open: bool = True,
         metrics_enabled: bool = True,
         slow_op_threshold: Optional[float] = None,
+        group_commit: bool = True,
+        snapshot_reads: bool = True,
     ) -> None:
         self.path = path
         #: The database-wide observability registry: every subsystem's
@@ -214,6 +245,7 @@ class Database:
             registry=self.metrics,
             waits=self.waits,
             tracer=self.tracer,
+            group_commit=group_commit,
         )
         # Torn-page protection: the buffer pool logs a durable full-page
         # image into the WAL before every dirty page write-back, so
@@ -222,7 +254,18 @@ class Database:
             self.storage.buffer.attach_page_image_log(
                 self.wal.log_page_image, self.wal.sync
             )
-        self.txns = TransactionManager(self.wal, self.locks, registry=self.metrics)
+        #: MVCC before-image store: writers install pre-mutation states
+        #: here (keyed by OID + commit timestamp) so snapshot readers can
+        #: reconstruct the database as of their begin timestamp without
+        #: blocking or being blocked by writers.
+        self.version_store = VersionStore(self.metrics)
+        #: Snapshot-read knob: when False, read queries fall back to
+        #: scan locks (strict 2PL for readers and writers alike).
+        self.snapshot_reads = snapshot_reads
+        self.txns = TransactionManager(
+            self.wal, self.locks, registry=self.metrics,
+            version_store=self.version_store,
+        )
         self.waits.current_txn = self._current_txn_id
         self.clustering = clustering or NoClustering()
         self.use_locks = use_locks
@@ -534,6 +577,11 @@ class Database:
             hint = near
             if hint is None:
                 hint = self.clustering.neighbour_for(self.schema, state)
+            if self.snapshot_reads:
+                # Before-image first (None = "did not exist"), then the
+                # storage mutation: a snapshot reader that sees the new
+                # stored state must also see the entry that hides it.
+                self.version_store.record_before(txn.txn_id, oid, class_name, None)
             self.storage.store_new(state, near=hint)
             self.indexes.notify_insert(state)
             self.wal.log_insert(txn.txn_id, state)
@@ -601,6 +649,10 @@ class Database:
         with self._auto_txn() as txn:
             self._lock(txn, old.oid, old.class_name, write=True)
             self._run_hooks(self._pre_hooks, "update", old, new)
+            if self.snapshot_reads:
+                self.version_store.record_before(
+                    txn.txn_id, old.oid, old.class_name, old.copy()
+                )
             self.storage.overwrite(new)
             self.indexes.notify_update(old, new)
             self.wal.log_update(txn.txn_id, old, new)
@@ -627,6 +679,10 @@ class Database:
         with self._auto_txn() as txn:
             self._lock(txn, oid, state.class_name, write=True)
             self._run_hooks(self._pre_hooks, "delete", state, None)
+            if self.snapshot_reads:
+                self.version_store.record_before(
+                    txn.txn_id, oid, state.class_name, state.copy()
+                )
             self.storage.remove(oid)
             self.indexes.notify_delete(state)
             self.wal.log_delete(txn.txn_id, state)
@@ -812,19 +868,23 @@ class Database:
         """Shared front half of every query path: parse, authorize the
         *named* target (granting read on a view and not its base class
         is the paper's content-based authorization), rewrite views, run
-        the semantic gate, plan, and take the class scan locks."""
+        the semantic gate, plan, and open the read snapshot (or, when
+        snapshot reads are off, take the class scan locks).  Returns
+        ``(query, plan, report, was_view, snapshot)``."""
         source = query if isinstance(query, str) else None
         if source is not None:
-            # Repeated identical query text: skip even parsing.  Authz
-            # and scan locks are NOT cached — they are per-caller and
-            # per-transaction, so both re-run on every hit.
+            # Repeated identical query text: skip even parsing.  Authz,
+            # snapshots and scan locks are NOT cached — they are
+            # per-caller and per-transaction, so all re-run on every hit.
             entry = self.plan_cache.get_source(source)
             if entry is not None:
                 plan = entry.plan
                 plan.cached = True
                 self._check_authz("read", plan.query.target_class)
-                self._take_scan_locks(plan)
-                return plan.query, plan, entry.report, False
+                snapshot = self._open_query_snapshot(plan)
+                if snapshot is None:
+                    self._take_scan_locks(plan)
+                return plan.query, plan, entry.report, False, snapshot
         query = self._parse(query)
         if self.syscat.is_system(query.target_class):
             # System views are observability metadata, not stored objects:
@@ -834,7 +894,7 @@ class Database:
             with self.tracer.span("query.plan", target=query.target_class):
                 plan = self.planner.plan(query)
             self._m_plans.inc()
-            return query, plan, report, False
+            return query, plan, report, False, None
         self._check_authz("read", query.target_class)
         was_view = self.views is not None and self.views.is_view(query.target_class)
         if self.views is not None:
@@ -843,15 +903,20 @@ class Database:
         # View-targeted queries are planned fresh each time: a view
         # redefinition would not bump the schema epoch the cache keys on.
         plan = self._plan_user_query(query, report, source, cacheable=not was_view)
-        self._take_scan_locks(plan)
-        return plan.query, plan, report, was_view
+        snapshot = self._open_query_snapshot(plan)
+        if snapshot is None:
+            self._take_scan_locks(plan)
+        return plan.query, plan, report, was_view, snapshot
 
     def _take_scan_locks(self, plan: Plan) -> None:
         """Shared scan locks over the plan's scope, under the current txn.
 
         A plan the rewrite pass proved contradictory executes through
         :class:`~repro.query.operators.leaves.EmptyScanOp` without ever
-        touching storage — so it takes no locks at all.
+        touching storage — so it takes no locks at all.  Snapshot reads
+        never reach here: a query with a begin snapshot resolves
+        visibility through the version store instead of locking (see
+        :meth:`_open_query_snapshot`).
         """
         if isinstance(plan.access, EmptyScan):
             return
@@ -860,22 +925,70 @@ class Database:
             for cls in plan.scope:
                 self._lock_class_scan(current, cls)
 
+    def _open_query_snapshot(self, plan: Plan) -> Optional[SnapshotView]:
+        """The MVCC read path: a snapshot view for this query, or None.
+
+        None (fall back to scan locks) when snapshot reads are disabled
+        or the plan is a proven-empty scan that touches nothing anyway.
+        Inside a transaction the snapshot is opened once at the first
+        read and reused — repeatable reads across the whole transaction;
+        outside one the snapshot is ephemeral and the query path closes
+        it when the query (or stream) finishes.
+        """
+        if not self.snapshot_reads or isinstance(plan.access, EmptyScan):
+            return None
+        current = self.txns.current
+        if current is not None:
+            if current.snapshot is None:
+                current.snapshot = self.version_store.open_snapshot(
+                    current.txn_id
+                )
+            snap = current.snapshot
+            ephemeral = False
+        else:
+            snap = self.version_store.open_snapshot(None)
+            ephemeral = True
+        return SnapshotView(
+            self.version_store,
+            snap,
+            self._deref,
+            self._scan_coerced,
+            self._coerce,
+            ephemeral=ephemeral,
+        )
+
+    def _close_query_snapshot(self, snapshot: Optional[SnapshotView]) -> None:
+        """Release an ephemeral query snapshot (moves the GC horizon).
+
+        Transaction-bound snapshots are left alone — the transaction
+        manager closes them when the transaction finishes.
+        """
+        if snapshot is not None and snapshot.ephemeral:
+            self.version_store.close_snapshot(snapshot.snapshot)
+
     def _execute(self, query: Union[str, Query], analyze: bool):
         with self.tracer.span("query.execute"), self._m_query_seconds.time():
-            query, plan, report, was_view = self._prepare_query(query)
+            query, plan, report, was_view, snapshot = self._prepare_query(query)
             is_system = self.syscat.is_system(query.target_class)
-            with self.tracer.span("query.run", access=plan.access.description):
-                if is_system:
-                    result = self._executor.execute_rows(
-                        plan,
-                        self.syscat.kernel(query.target_class),
-                        self.syscat.scan,
-                        timed=analyze,
-                    )
-                else:
-                    result = self._executor.execute(plan, timed=analyze)
+            try:
+                with self.tracer.span("query.run", access=plan.access.description):
+                    if is_system:
+                        result = self._executor.execute_rows(
+                            plan,
+                            self.syscat.kernel(query.target_class),
+                            self.syscat.scan,
+                            timed=analyze,
+                        )
+                    else:
+                        result = self._executor.execute(
+                            plan, timed=analyze, snapshot=snapshot
+                        )
+            finally:
+                self._close_query_snapshot(snapshot)
             if analyze:
-                result.analysis = operator_tree(plan, result.pipeline)
+                # result.plan, not the prepared plan: snapshot execution
+                # may have downgraded an index probe to an extent scan.
+                result.analysis = operator_tree(result.plan, result.pipeline)
             if is_system:
                 # Statistics rows carry no OIDs: nothing to filter, and
                 # querying the observer must not overwrite the observed
@@ -938,19 +1051,24 @@ class Database:
         Per-object authorization and mandatory filtering apply as the
         rows stream past, exactly as :meth:`execute` filters its result.
 
-        Returns a :class:`QueryStream` (iterable, context manager).  When
-        no transaction is active on the calling thread the stream begins
-        its own read transaction so the scan locks taken during planning
-        actually protect the scan; the transaction is detached from the
-        thread immediately (later operations on this thread still
-        autocommit independently) and is committed — releasing the scan
-        locks — when the stream is exhausted or closed.
+        Returns a :class:`QueryStream` (iterable, context manager).
+        Under snapshot reads (the default) the stream runs lock-free
+        against its begin snapshot, which is closed — moving the version
+        GC horizon — when the stream is exhausted or closed.  With
+        ``snapshot_reads=False`` and no transaction active on the
+        calling thread, the stream begins its own read transaction so
+        the scan locks taken during planning actually protect the scan;
+        the transaction is detached from the thread immediately (later
+        operations on this thread still autocommit independently) and is
+        committed — releasing the scan locks — when the stream is
+        exhausted or closed.
         """
         implicit: Optional[Transaction] = None
-        if self.txns.current is None:
+        if self.txns.current is None and not self.snapshot_reads:
             implicit = self.txns.begin()
+        snapshot = None
         try:
-            prepared, plan, _report, was_view = self._prepare_query(query)
+            prepared, plan, _report, was_view, snapshot = self._prepare_query(query)
             if self.syscat.is_system(prepared.target_class):
                 raise QueryError(
                     "select_iter yields object handles; system views have "
@@ -960,16 +1078,17 @@ class Database:
                 raise QueryError("select_iter does not support aggregate queries")
             if prepared.projections is not None:
                 raise QueryError("select_iter does not support projection queries")
-            pipeline = self._executor.pipeline(plan)
+            pipeline = self._executor.pipeline(plan, snapshot=snapshot)
             pipeline.open()
         except BaseException:
             if implicit is not None and implicit.is_active:
                 implicit.abort()
+            self._close_query_snapshot(snapshot)
             raise
         finally:
             if implicit is not None:
                 self.txns.detach()
-        return QueryStream(self, pipeline, implicit, was_view)
+        return QueryStream(self, pipeline, implicit, was_view, snapshot=snapshot)
 
     # ------------------------------------------------------------------
     # observability

@@ -78,6 +78,10 @@ SYSTEM_VIEWS: Dict[str, Tuple[Tuple[str, ...], str]] = {
         ),
         "active transactions with age, lock and wait totals",
     ),
+    "SysSnapshot": (
+        ("snapshot", "ts", "txn", "age", "reads", "entries"),
+        "live MVCC read snapshots and the version-store entry count",
+    ),
     "SysSlowOp": (
         ("name", "elapsed", "threshold", "target"),
         "the tracer's slow-operation log",
@@ -186,6 +190,13 @@ class SystemViewsAdapter(Adapter):
                 "wait_seconds": waits["seconds"],
                 "waiting_for": blocked.get(txn.txn_id),
             }
+
+    def _rows_syssnapshot(self) -> Iterator[Row]:
+        store = getattr(self.db, "version_store", None)
+        if store is None:
+            return
+        for row in store.snapshot_rows():
+            yield row
 
     def _rows_syssession(self) -> Iterator[Row]:
         # ``db.sessions`` is the server's session registry (a public

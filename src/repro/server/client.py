@@ -116,14 +116,17 @@ class Client:
         return txn
 
     def commit(self) -> int:
-        txn = self.call("commit")["txn"]
+        # Clear the flag *before* the round trip: whether commit
+        # succeeds or fails, the server ends the transaction (a failed
+        # commit is rolled back server-side), so a commit-time
+        # ServerError must propagate to the caller — not trigger a
+        # doomed rollback of a transaction that no longer exists.
         self.in_txn = False
-        return txn
+        return self.call("commit")["txn"]
 
     def rollback(self) -> int:
-        txn = self.call("rollback")["txn"]
         self.in_txn = False
-        return txn
+        return self.call("rollback")["txn"]
 
     @contextlib.contextmanager
     def transaction(self) -> Iterator["Client"]:

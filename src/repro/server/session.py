@@ -204,8 +204,17 @@ class Session:
     def _op_commit(self, params: Dict[str, Any]) -> Dict[str, Any]:
         txn = self._require_txn()
         self._close_cursors()
-        self._txn = None
-        txn.commit()
+        try:
+            txn.commit()
+        except Exception:
+            # A failed commit (WAL append error, injected fault) must not
+            # strand the transaction on the session: roll it back so its
+            # locks die with the request, then surface the typed error.
+            if txn.is_active:
+                txn.abort()
+            raise
+        finally:
+            self._txn = None
         return {"txn": txn.txn_id}
 
     def _op_rollback(self, params: Dict[str, Any]) -> Dict[str, Any]:
@@ -251,12 +260,23 @@ class Session:
         rows: List[Any] = []
         done = False
         with self._bound():
-            for handle in stream:
-                rows.append(self._materialize(handle.oid))
-                if len(rows) >= limit:
+            while len(rows) < limit:
+                try:
+                    # The stream's own visible state, not a re-read of
+                    # current storage: under snapshot reads the cursor
+                    # must keep serving its begin snapshot even while
+                    # writers commit between fetch batches.
+                    state = stream.next_state()
+                except StopIteration:
+                    done = True
                     break
-            else:
-                done = True
+                rows.append(
+                    {
+                        "oid": to_wire(state.oid),
+                        "class": state.class_name,
+                        "values": to_wire(dict(state.values)),
+                    }
+                )
         if done:
             stream.close()
             self._cursors.pop(cursor_id, None)

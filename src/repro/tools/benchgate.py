@@ -52,6 +52,8 @@ COST_PREFIXES = (
     "server.rows_streamed",
     "query.plan_cache.",
     "rewrite.",
+    "txn.snapshot.",
+    "wal.group_commit.",
 )
 
 

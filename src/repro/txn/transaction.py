@@ -43,6 +43,11 @@ class Transaction:
         #: class-level lock ("S" or "X").
         self.object_lock_counts: Dict[str, int] = {}
         self.escalated_classes: Dict[str, str] = {}
+        #: The transaction's read snapshot (a
+        #: :class:`~repro.versions.store.Snapshot`), opened lazily by
+        #: the database at the transaction's first snapshot read and
+        #: closed by the manager when the transaction finishes.
+        self.snapshot = None
 
     # -- state ------------------------------------------------------------
 
@@ -107,9 +112,14 @@ class TransactionManager:
         wal: WriteAheadLog,
         locks: LockManager,
         registry: Optional[MetricsRegistry] = None,
+        version_store=None,
     ) -> None:
         self.wal = wal
         self.locks = locks
+        #: Optional :class:`~repro.versions.store.VersionStore`: commit
+        #: stamps before-images with the new commit timestamp, abort
+        #: discards them, and finish closes the transaction's snapshot.
+        self.version_store = version_store
         self._next_id = 1
         self._id_mutex = threading.Lock()
         self._active: Dict[int, Transaction] = {}
@@ -197,6 +207,11 @@ class TransactionManager:
     def commit(self, txn: Transaction) -> None:
         txn._require_active()
         self.wal.log_commit(txn.txn_id)
+        # Only after the commit record is durable does the write become
+        # visible: stamping the version-store entries with the new
+        # commit timestamp is what moves the snapshot horizon forward.
+        if self.version_store is not None:
+            self.version_store.commit(txn.txn_id)
         txn.status = COMMITTED
         self._finish(txn)
         self.committed_count += 1
@@ -208,12 +223,18 @@ class TransactionManager:
         for action in reversed(txn._undo_actions):
             action()
         self.wal.log_abort(txn.txn_id)
+        if self.version_store is not None:
+            self.version_store.abort(txn.txn_id)
         txn.status = ABORTED
         self._finish(txn)
         self.aborted_count += 1
         self._m_aborts.inc()
 
     def _finish(self, txn: Transaction) -> None:
+        if txn.snapshot is not None:
+            if self.version_store is not None:
+                self.version_store.close_snapshot(txn.snapshot)
+            txn.snapshot = None
         self.locks.release_all(txn.txn_id)
         self._active.pop(txn.txn_id, None)
         self._m_active.set(len(self._active))

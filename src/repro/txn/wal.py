@@ -11,6 +11,7 @@ checkpoint and rolls back losers.
 from __future__ import annotations
 
 import struct
+import threading
 import time
 import zlib
 from typing import Iterator, List, Optional
@@ -128,7 +129,16 @@ class WriteAheadLog:
     """Append-only log; in-memory when ``path`` is None (tests, ephemeral).
 
     ``sync_on_commit`` controls whether COMMIT records fsync — the knob
-    experiment E13 sweeps.
+    experiment E13 sweeps.  ``group_commit`` (default on) splits the
+    commit into an append phase and a sync phase: concurrent committers
+    append their COMMIT record under the log mutex and then enqueue on a
+    condition-variable coordinator where one of them — the batch leader
+    — performs a single flush+fsync that durably covers *every* commit
+    appended before it ran.  A transaction's ``append`` only returns
+    once a covering sync has completed, so the durability contract is
+    byte-identical to per-commit fsync; with one committer the physical
+    I/O sequence (write, flush, fsync) is also identical, which keeps
+    the seeded fault-injection matrices deterministic.
     """
 
     def __init__(
@@ -138,11 +148,24 @@ class WriteAheadLog:
         registry: Optional[MetricsRegistry] = None,
         waits: Optional[WaitProfiler] = None,
         tracer=None,
+        group_commit: bool = True,
     ) -> None:
         self.path = path
         self.sync_on_commit = sync_on_commit
+        self.group_commit = group_commit
         self._waits = waits
         self._tracer = tracer
+        #: Serializes every append (frame write + LSN allocation) and
+        #: the flush half of a batch sync.
+        self._wal_mutex = threading.Lock()
+        #: Group-commit coordinator state: committers enqueue their
+        #: append sequence number and wait until ``_synced_seq`` covers
+        #: it; at most one leader (``_leader_busy``) syncs at a time.
+        self._group_cond = threading.Condition()
+        self._appended_seq = 0
+        self._synced_seq = 0
+        self._leader_busy = False
+        self._pending: List[int] = []
         self._records: List[LogRecord] = []  # memory mode only
         self._next_lsn = 0
         self._file = None
@@ -160,6 +183,11 @@ class WriteAheadLog:
         self._torn_tails = registry.counter("fault.wal_torn_tail")
         self._image_appends = registry.counter("wal.page_images")
         self._image_bytes = registry.counter("wal.page_image_bytes")
+        #: Group-commit telemetry: batches is fsync rounds, commits is
+        #: transactions those rounds covered; batch_size their ratio.
+        self._group_batches = registry.counter("wal.group_commit.batches")
+        self._group_commits = registry.counter("wal.group_commit.commits")
+        self._group_batch_size = registry.histogram("wal.group_commit.batch_size")
         #: Companion physical log holding PAGE_IMAGE frames.
         self.pages_path = path + ".pages" if path is not None else None
         self._pages_file = None
@@ -181,42 +209,126 @@ class WriteAheadLog:
     # -- writing ------------------------------------------------------------
 
     def append(self, record: LogRecord) -> int:
-        record.lsn = self._next_lsn
-        self._next_lsn += 1
-        self._appends.inc()
-        if self._file is None:
-            self._records.append(record)
-            if record.record_type == COMMIT:
-                self._flushes.inc()
-        else:
+        with self._wal_mutex:
+            record.lsn = self._next_lsn
+            self._next_lsn += 1
+            self._appends.inc()
+            if self._file is None:
+                self._records.append(record)
+                if record.record_type == COMMIT:
+                    self._flushes.inc()
+                return record.lsn
             payload = record.payload()
             crc = zlib.crc32(payload + bytes([record.record_type]))
             frame = _FRAME.pack(crc, len(payload), record.record_type, record.txn_id)
             self._file.write(frame + payload)
             self._append_bytes.inc(_FRAME.size + len(payload))
-            if record.record_type == COMMIT:
-                started = time.perf_counter() if self._waits is not None else 0.0
+            if record.record_type != COMMIT:
+                return record.lsn
+            self._appended_seq += 1
+            seq = self._appended_seq
+            if not self.group_commit:
+                # Escape hatch (--no-group-commit): the classic inline
+                # flush+fsync before append returns, fully serialized.
+                self._commit_barrier(record.txn_id)
+                return record.lsn
+        # Group commit: the frame is appended; durability comes from
+        # whichever batch sync covers our sequence number.
+        self._await_durable(seq, record.txn_id)
+        return record.lsn
+
+    def _commit_barrier(self, txn_id: int) -> None:
+        """Per-commit durability point (flush, then fsync if configured)."""
+        started = time.perf_counter() if self._waits is not None else 0.0
+        self._file.flush()
+        self._flushes.inc()
+        if self._waits is not None:
+            self._waits.record(
+                "WALFlush",
+                time.perf_counter() - started,
+                target=self.path,
+                txn_id=txn_id,
+            )
+        if self.sync_on_commit:
+            started = time.perf_counter() if self._waits is not None else 0.0
+            fsync_file(self._file)
+            self._syncs.inc()
+            if self._waits is not None:
+                self._waits.record(
+                    "WALSync",
+                    time.perf_counter() - started,
+                    target=self.path,
+                    txn_id=txn_id,
+                )
+
+    def _await_durable(self, seq: int, txn_id: int) -> None:
+        """Block until a batch sync covers append sequence ``seq``.
+
+        The classic leader/follower protocol: every committer enqueues
+        its sequence; if no sync is in flight the caller elects itself
+        leader and performs one, otherwise it waits — by the time it
+        wakes, either some batch covered it (done: one fsync amortized
+        over the whole queue) or it takes the leader role itself.
+        """
+        cond = self._group_cond
+        with cond:
+            self._pending.append(seq)
+            while True:
+                if self._synced_seq >= seq:
+                    return
+                if not self._leader_busy:
+                    self._leader_busy = True
+                    break
+                cond.wait()
+        self._sync_batch(txn_id)
+
+    def _sync_batch(self, txn_id: int) -> None:
+        """Leader half: one flush+fsync covering every appended commit.
+
+        On failure (injected crash, I/O error) ``_synced_seq`` does not
+        advance — no follower is ever told it is durable by a sync that
+        did not complete — but the leader role is always handed back so
+        waiters can re-elect and surface the failure on their own
+        commit path.
+        """
+        covered = 0
+        completed = False
+        try:
+            started = time.perf_counter() if self._waits is not None else 0.0
+            with self._wal_mutex:
+                covered = self._appended_seq
                 self._file.flush()
-                self._flushes.inc()
+            self._flushes.inc()
+            if self._waits is not None:
+                self._waits.record(
+                    "WALFlush",
+                    time.perf_counter() - started,
+                    target=self.path,
+                    txn_id=txn_id,
+                )
+            if self.sync_on_commit:
+                started = time.perf_counter() if self._waits is not None else 0.0
+                fsync_file(self._file)
+                self._syncs.inc()
                 if self._waits is not None:
                     self._waits.record(
-                        "WALFlush",
+                        "WALSync",
                         time.perf_counter() - started,
                         target=self.path,
-                        txn_id=record.txn_id,
+                        txn_id=txn_id,
                     )
-                if self.sync_on_commit:
-                    started = time.perf_counter() if self._waits is not None else 0.0
-                    fsync_file(self._file)
-                    self._syncs.inc()
-                    if self._waits is not None:
-                        self._waits.record(
-                            "WALSync",
-                            time.perf_counter() - started,
-                            target=self.path,
-                            txn_id=record.txn_id,
-                        )
-        return record.lsn
+            completed = True
+        finally:
+            with self._group_cond:
+                if completed:
+                    self._synced_seq = max(self._synced_seq, covered)
+                    done = [s for s in self._pending if s <= covered]
+                    self._pending = [s for s in self._pending if s > covered]
+                    self._group_batches.inc()
+                    self._group_commits.inc(len(done))
+                    self._group_batch_size.observe(len(done))
+                self._leader_busy = False
+                self._group_cond.notify_all()
 
     def log_begin(self, txn_id: int) -> None:
         self.append(LogRecord(BEGIN, txn_id))
@@ -255,7 +367,8 @@ class WriteAheadLog:
         payload = record.payload()
         crc = zlib.crc32(payload + bytes([PAGE_IMAGE]))
         frame = _FRAME.pack(crc, len(payload), PAGE_IMAGE, 0)
-        self._pages_file.write(frame + payload)
+        with self._wal_mutex:
+            self._pages_file.write(frame + payload)
         self._image_bytes.inc(_FRAME.size + len(payload))
 
     def sync(self) -> None:
@@ -268,12 +381,13 @@ class WriteAheadLog:
         """
         if self._file is None:
             return
-        if self._pages_file is not None:
-            self._pages_file.flush()
-            fsync_file(self._pages_file)
-        self._file.flush()
-        fsync_file(self._file)
-        self._syncs.inc()
+        with self._wal_mutex:
+            if self._pages_file is not None:
+                self._pages_file.flush()
+                fsync_file(self._pages_file)
+            self._file.flush()
+            fsync_file(self._file)
+            self._syncs.inc()
 
     # -- reading ------------------------------------------------------------
 
@@ -287,7 +401,8 @@ class WriteAheadLog:
         if self._file is None:
             yield from list(self._records)
             return
-        self._file.flush()
+        with self._wal_mutex:
+            self._file.flush()
         lsn = 0
         with open(self.path, "rb") as handle:
             data = handle.read()
@@ -324,7 +439,8 @@ class WriteAheadLog:
         if self._pages_file is None:
             yield from list(self._page_images)
             return
-        self._pages_file.flush()
+        with self._wal_mutex:
+            self._pages_file.flush()
         with open(self.pages_path, "rb") as handle:
             data = handle.read()
         pos = 0
@@ -376,16 +492,21 @@ class WriteAheadLog:
             self._records.clear()
             self._page_images.clear()
             return
-        self._file.close()
-        self._file = open(self.path, "wb")
-        self._file.close()
-        self._file = wrap_file(open(self.path, "ab"), "wal:%s" % self.path, self._registry)
-        self._pages_file.close()
-        self._pages_file = open(self.pages_path, "wb")
-        self._pages_file.close()
-        self._pages_file = wrap_file(
-            open(self.pages_path, "ab"), "wal-pages:%s" % self.pages_path, self._registry
-        )
+        with self._wal_mutex:
+            self._file.close()
+            self._file = open(self.path, "wb")
+            self._file.close()
+            self._file = wrap_file(
+                open(self.path, "ab"), "wal:%s" % self.path, self._registry
+            )
+            self._pages_file.close()
+            self._pages_file = open(self.pages_path, "wb")
+            self._pages_file.close()
+            self._pages_file = wrap_file(
+                open(self.pages_path, "ab"),
+                "wal-pages:%s" % self.pages_path,
+                self._registry,
+            )
 
     @property
     def record_count(self) -> int:

@@ -1,4 +1,4 @@
-"""Versions (layered mechanism + policies) and change notification."""
+"""Versions (layered mechanism + policies), MVCC store, notification."""
 
 from .model import VersionManager, VersionRecord, attach
 from .notify import NotificationManager
@@ -11,11 +11,15 @@ from .policies import (
     FreezeOnDerivePolicy,
     VersionPolicy,
 )
+from .store import Snapshot, SnapshotView, VersionStore
 
 __all__ = [
     "VersionManager",
     "VersionRecord",
     "attach",
+    "Snapshot",
+    "SnapshotView",
+    "VersionStore",
     "NotificationManager",
     "attach_notifications",
     "RELEASED",

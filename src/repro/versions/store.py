@@ -1,0 +1,402 @@
+"""MVCC version store: before-images keyed by OID + commit timestamp.
+
+The paper names concurrency control for concurrent transactions a core
+open problem for OODBs; this module is the engine's answer for *read*
+concurrency.  Writers keep strict two-phase locking (their X locks are
+what make in-place updates safe), but before the first in-place write a
+transaction makes to an object it installs the object's **before-image**
+here.  A read-only query then runs against a :class:`Snapshot` — the
+state of the world as of a monotonic commit timestamp — without taking
+any scan locks at all: visibility is resolved per object by walking the
+version chain back past every write the snapshot must not see.
+
+Visibility rule (``resolve``): given reader snapshot ``S`` over object
+``o`` with current stored state ``cur``,
+
+* the reader's own transaction's writes are always visible
+  (read-your-own-writes): an own-chain entry short-circuits to ``cur``;
+* otherwise walk the chain newest-first; every entry that is
+  *invisible* — written by an uncommitted transaction, or committed
+  with ``commit_ts > S.ts`` — steps the result back to that entry's
+  before-image; the first *visible* committed entry ends the walk.
+
+Because writers hold X locks, at most one uncommitted writer exists per
+object and chain entries are naturally ordered newest-first, so the
+invisible entries form a prefix of the chain and the walk is exact.
+A ``None`` before-image means "did not exist": inserts made after the
+snapshot disappear from its scans, deletes made after it are
+resurrected from their before-images.
+
+Garbage collection contract: a committed entry with timestamp ``c`` is
+needed only by snapshots with ``ts < c``; :meth:`VersionStore.gc`
+reclaims every committed entry at or below the oldest live snapshot's
+timestamp (all of them when no snapshot is live — future snapshots
+begin at the current commit horizon).  Uncommitted entries always
+survive; their writer is still running.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional, Set
+
+from ..core.obj import ObjectState
+from ..core.oid import OID
+from ..obs.metrics import MetricsRegistry
+
+
+class _Entry:
+    """One before-image: ``txn_id`` overwrote ``oid``; the state before
+    its first write was ``before`` (None = the object did not exist)."""
+
+    __slots__ = ("txn_id", "oid", "class_name", "before", "commit_ts")
+
+    def __init__(
+        self,
+        txn_id: int,
+        oid: OID,
+        class_name: str,
+        before: Optional[ObjectState],
+    ) -> None:
+        self.txn_id = txn_id
+        self.oid = oid
+        self.class_name = class_name
+        self.before = before
+        #: Stamped at commit (monotonic); None while the writer runs.
+        self.commit_ts: Optional[int] = None
+
+
+class Snapshot:
+    """A read timestamp: everything committed at or before ``ts``."""
+
+    __slots__ = ("snapshot_id", "ts", "txn_id", "reads", "_opened_clock")
+
+    def __init__(self, snapshot_id: int, ts: int, txn_id: Optional[int]) -> None:
+        self.snapshot_id = snapshot_id
+        self.ts = ts
+        #: Owning transaction (read-your-own-writes); None for the
+        #: ephemeral snapshot of an autocommit read.
+        self.txn_id = txn_id
+        #: Objects resolved through this snapshot (SysSnapshot).
+        self.reads = 0
+        self._opened_clock = time.perf_counter()
+
+    @property
+    def age_seconds(self) -> float:
+        return time.perf_counter() - self._opened_clock
+
+    def __repr__(self) -> str:
+        return "<Snapshot %d ts=%d txn=%s>" % (
+            self.snapshot_id,
+            self.ts,
+            self.txn_id,
+        )
+
+
+class VersionStore:
+    """In-memory version chains + the commit-timestamp authority.
+
+    All structural state is guarded by ``_store_mutex`` (a leaf in the
+    engine lock lattice: nothing else is ever acquired while holding
+    it).  Commit-timestamp allocation and entry stamping are one atomic
+    step, and snapshot opening reads the commit horizon under the same
+    mutex, so a snapshot either sees all of a commit or none of it.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self._store_mutex = threading.Lock()
+        #: Newest-first before-image chains.
+        self._chains: Dict[OID, List[_Entry]] = {}
+        #: Class name -> OIDs with live chain entries (scan resurrection
+        #: and the index-downgrade test both key on class).
+        self._by_class: Dict[str, Set[OID]] = {}
+        #: Uncommitted entries per writer, install order.
+        self._txn_entries: Dict[int, List[_Entry]] = {}
+        self._snapshots: Dict[int, Snapshot] = {}
+        self._next_snapshot_id = 1
+        #: The commit horizon: timestamp of the newest committed write.
+        self._last_commit_ts = 0
+        self._entry_count = 0
+        registry = registry if registry is not None else MetricsRegistry(enabled=False)
+        self._m_opened = registry.counter("txn.snapshot.opened")
+        self._m_closed = registry.counter("txn.snapshot.closed")
+        self._m_reads = registry.counter("txn.snapshot.reads")
+        self._m_reclaimed = registry.counter("txn.snapshot.gc_reclaimed")
+        self._m_live = registry.gauge("txn.snapshot.live")
+        self._m_entries = registry.gauge("txn.snapshot.version_entries")
+
+    # -- writer side --------------------------------------------------------
+
+    def record_before(
+        self,
+        txn_id: int,
+        oid: OID,
+        class_name: str,
+        before: Optional[ObjectState],
+    ) -> None:
+        """Install ``oid``'s before-image for writer ``txn_id``.
+
+        Called immediately *before* the in-place storage mutation while
+        the writer holds its X lock — a snapshot reader that sees the
+        new stored state is guaranteed to also see the chain entry that
+        steps it back.  Only the first write per (txn, oid) installs an
+        entry: the transaction's effects become visible atomically at
+        its commit timestamp, so intermediate states are never needed.
+        """
+        with self._store_mutex:
+            mine = self._txn_entries.setdefault(txn_id, [])
+            for entry in mine:
+                if entry.oid == oid:
+                    return
+            entry = _Entry(txn_id, oid, class_name, before)
+            self._chains.setdefault(oid, []).insert(0, entry)
+            self._by_class.setdefault(class_name, set()).add(oid)
+            mine.append(entry)
+            self._entry_count += 1
+            self._m_entries.set(self._entry_count)
+
+    def commit(self, txn_id: int) -> Optional[int]:
+        """Stamp the writer's entries with a fresh commit timestamp.
+
+        Called after the WAL commit record is durable and before locks
+        are released.  Allocation and stamping are atomic with respect
+        to snapshot opening, so no snapshot can observe half a commit.
+        Returns the timestamp (None if the transaction wrote nothing).
+        """
+        with self._store_mutex:
+            entries = self._txn_entries.pop(txn_id, None)
+            if not entries:
+                return None
+            self._last_commit_ts += 1
+            ts = self._last_commit_ts
+            for entry in entries:
+                entry.commit_ts = ts
+            if not self._snapshots:
+                self._reclaim_locked(self._last_commit_ts)
+            return ts
+
+    def abort(self, txn_id: int) -> None:
+        """Discard the writer's entries (its undo restored storage)."""
+        with self._store_mutex:
+            entries = self._txn_entries.pop(txn_id, None)
+            if not entries:
+                return
+            for entry in entries:
+                self._unlink_locked(entry)
+            self._m_entries.set(self._entry_count)
+
+    # -- snapshot lifecycle --------------------------------------------------
+
+    def open_snapshot(self, txn_id: Optional[int] = None) -> Snapshot:
+        with self._store_mutex:
+            snapshot = Snapshot(self._next_snapshot_id, self._last_commit_ts, txn_id)
+            self._next_snapshot_id += 1
+            self._snapshots[snapshot.snapshot_id] = snapshot
+            self._m_opened.inc()
+            self._m_live.set(len(self._snapshots))
+        return snapshot
+
+    def close_snapshot(self, snapshot: Snapshot) -> None:
+        """Release a snapshot and reclaim versions nothing can read."""
+        with self._store_mutex:
+            if self._snapshots.pop(snapshot.snapshot_id, None) is None:
+                return
+            self._m_closed.inc()
+            self._m_live.set(len(self._snapshots))
+            self.gc_locked()
+
+    def live_snapshots(self) -> List[Snapshot]:
+        with self._store_mutex:
+            return [self._snapshots[sid] for sid in sorted(self._snapshots)]
+
+    # -- reader side ---------------------------------------------------------
+
+    def resolve(
+        self,
+        oid: OID,
+        snapshot: Snapshot,
+        current: Optional[ObjectState],
+    ) -> Optional[ObjectState]:
+        """The state of ``oid`` visible to ``snapshot`` (None = absent).
+
+        ``current`` is the present stored state (or None when the object
+        is gone from storage); the chain walk steps it back past every
+        write the snapshot must not see.
+        """
+        snapshot.reads += 1
+        self._m_reads.inc()
+        chain = self._chains.get(oid)
+        if chain is None:
+            return current
+        with self._store_mutex:
+            result = current
+            for entry in chain:
+                if entry.txn_id == snapshot.txn_id:
+                    # Own write: a transaction always reads its writes.
+                    return current
+                if entry.commit_ts is not None and entry.commit_ts <= snapshot.ts:
+                    break
+                result = entry.before
+            return result
+
+    def resurrected(
+        self,
+        class_name: str,
+        snapshot: Snapshot,
+        seen: Set[OID],
+    ) -> List[ObjectState]:
+        """Objects of ``class_name`` visible to ``snapshot`` but missing
+        from the storage scan (deleted after the snapshot began)."""
+        with self._store_mutex:
+            candidates = [
+                oid
+                for oid in sorted(self._by_class.get(class_name, ()))
+                if oid not in seen
+            ]
+        out: List[ObjectState] = []
+        for oid in candidates:
+            state = self.resolve(oid, snapshot, None)
+            if state is not None:
+                out.append(state)
+        return out
+
+    def has_entries(self, classes) -> bool:
+        """True when any class in ``classes`` has live version entries.
+
+        The executor's index-path guard: an index reflects *current*
+        attribute values, so whenever in-scope before-images exist a
+        probe could miss objects the snapshot must see — the plan is
+        downgraded to an extent scan, whose resurrection pass is exact.
+        """
+        with self._store_mutex:
+            return any(self._by_class.get(cls) for cls in classes)
+
+    # -- garbage collection ----------------------------------------------------
+
+    def gc(self) -> int:
+        """Reclaim entries no live (or future) snapshot can need."""
+        with self._store_mutex:
+            return self.gc_locked()
+
+    def gc_locked(self) -> int:
+        horizon = min(
+            (snap.ts for snap in self._snapshots.values()),
+            default=self._last_commit_ts,
+        )
+        return self._reclaim_locked(horizon)
+
+    def _reclaim_locked(self, horizon: int) -> int:
+        reclaimed = []
+        for chain in self._chains.values():
+            for entry in chain:
+                if entry.commit_ts is not None and entry.commit_ts <= horizon:
+                    reclaimed.append(entry)
+        for entry in reclaimed:
+            self._unlink_locked(entry)
+        if reclaimed:
+            self._m_reclaimed.inc(len(reclaimed))
+            self._m_entries.set(self._entry_count)
+        return len(reclaimed)
+
+    def _unlink_locked(self, entry: _Entry) -> None:
+        chain = self._chains.get(entry.oid)
+        if chain is None or entry not in chain:
+            return
+        chain.remove(entry)
+        self._entry_count -= 1
+        if not chain:
+            del self._chains[entry.oid]
+            by_class = self._by_class.get(entry.class_name)
+            if by_class is not None:
+                by_class.discard(entry.oid)
+                if not by_class:
+                    del self._by_class[entry.class_name]
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def entry_count(self) -> int:
+        return self._entry_count
+
+    @property
+    def last_commit_ts(self) -> int:
+        return self._last_commit_ts
+
+    def snapshot_rows(self) -> Iterator[Dict[str, Any]]:
+        """SysSnapshot rows: one per live snapshot, fresh per scan."""
+        for snap in self.live_snapshots():
+            yield {
+                "snapshot": snap.snapshot_id,
+                "ts": snap.ts,
+                "txn": snap.txn_id,
+                "age": snap.age_seconds,
+                "reads": snap.reads,
+                "entries": self._entry_count,
+            }
+
+    def __repr__(self) -> str:
+        return "<VersionStore ts=%d entries=%d snapshots=%d>" % (
+            self._last_commit_ts,
+            self._entry_count,
+            len(self._snapshots),
+        )
+
+
+class SnapshotView:
+    """Snapshot-aware read hooks for one query.
+
+    Wraps a :class:`Snapshot` together with the database's storage
+    callables (passed in by the owner — this module never reaches into
+    the database) and exposes exactly the two hooks the physical
+    operators need: :meth:`deref` for probe/path dereferencing and
+    :meth:`scan` for extent scans, both resolving visibility through
+    the store.  ``ephemeral`` marks per-query snapshots the query path
+    must close itself (transaction-bound snapshots are closed when the
+    transaction finishes).
+    """
+
+    def __init__(
+        self,
+        store: VersionStore,
+        snapshot: Snapshot,
+        deref: Callable[[OID], Optional[ObjectState]],
+        scan: Callable[[str], Iterator[ObjectState]],
+        coerce: Callable[[ObjectState], ObjectState],
+        ephemeral: bool = False,
+    ) -> None:
+        self.store = store
+        self.snapshot = snapshot
+        self._base_deref = deref
+        self._base_scan = scan
+        self._coerce = coerce
+        self.ephemeral = ephemeral
+
+    @property
+    def ts(self) -> int:
+        return self.snapshot.ts
+
+    def deref(self, oid: OID) -> Optional[ObjectState]:
+        state = self.store.resolve(oid, self.snapshot, self._base_deref(oid))
+        if state is None:
+            return None
+        return self._coerce(state)
+
+    def scan(self, class_name: str) -> Iterator[ObjectState]:
+        seen: Set[OID] = set()
+        for state in self._base_scan(class_name):
+            seen.add(state.oid)
+            visible = self.store.resolve(state.oid, self.snapshot, state)
+            if visible is not None:
+                yield self._coerce(visible)
+        for state in self.store.resurrected(class_name, self.snapshot, seen):
+            yield self._coerce(state)
+
+    def has_version_entries(self, classes) -> bool:
+        return self.store.has_entries(classes)
+
+    def __repr__(self) -> str:
+        return "<SnapshotView %r%s>" % (
+            self.snapshot,
+            " ephemeral" if self.ephemeral else "",
+        )

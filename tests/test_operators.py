@@ -196,32 +196,53 @@ class TestSelectIter:
         assert first.oid is not None
         iterator.close()  # generator close propagates to pipeline close
 
-    def test_mid_stream_close_releases_locks_and_operators(self, populated_db):
+    def test_mid_stream_close_releases_snapshot_and_operators(self, populated_db):
+        locks_before = populated_db.locks.stats.acquisitions
         stream = populated_db.select_iter("SELECT v FROM Vehicle v")
         next(stream)
         next(stream)
-        # The stream's implicit read transaction holds the scan locks.
-        assert populated_db.txns.active_transactions()
-        assert populated_db.locks.held_snapshot()
+        # Snapshot reads: the stream runs lock-free against its begin
+        # snapshot — no transaction, no scan locks, one live snapshot.
+        assert populated_db.locks.stats.acquisitions == locks_before
+        assert populated_db.txns.active_transactions() == []
+        assert populated_db.version_store.live_snapshots()
         stream.close()
         assert stream.closed
-        # Locks gone, transaction gone, leaf scan operator closed.
-        assert populated_db.txns.active_transactions() == []
-        assert populated_db.locks.held_snapshot() == []
+        # Snapshot gone (GC horizon advanced), leaf scan operator closed.
+        assert populated_db.version_store.live_snapshots() == []
         assert stream._pipeline.source._iter is None
         with pytest.raises(StopIteration):
             next(stream)
         stream.close()  # idempotent
+
+    def test_mid_stream_close_with_locking_reads_holds_scan_locks(self):
+        db = Database(snapshot_reads=False)
+        build_vehicle_schema(db)
+        populate_vehicles(db, n_vehicles=20, n_companies=2)
+        try:
+            stream = db.select_iter("SELECT v FROM Vehicle v")
+            next(stream)
+            # Legacy mode: the stream's implicit read transaction holds
+            # the scan locks until close commits it.
+            assert db.txns.active_transactions()
+            assert db.locks.held_snapshot()
+            stream.close()
+            assert db.txns.active_transactions() == []
+            assert db.locks.held_snapshot() == []
+        finally:
+            db.close()
 
     def test_mid_stream_close_under_explicit_txn_keeps_txn(self, populated_db):
         with populated_db.txns.begin() as txn:
             stream = populated_db.select_iter("SELECT v FROM Vehicle v")
             next(stream)
             stream.close()
-            # The caller's transaction owns the scan locks and survives
-            # the stream; only commit/abort releases them.
+            # The caller's transaction owns the stream's snapshot and
+            # survives the stream; only commit/abort closes it.
             assert txn.is_active
-            assert populated_db.locks.locks_held(txn.txn_id)
+            assert txn.snapshot is not None
+            assert populated_db.version_store.live_snapshots()
+        assert populated_db.version_store.live_snapshots() == []
         assert populated_db.locks.held_snapshot() == []
 
     def test_exhausted_stream_self_closes(self, populated_db):
@@ -230,6 +251,7 @@ class TestSelectIter:
             pass
         assert populated_db.txns.active_transactions() == []
         assert populated_db.locks.held_snapshot() == []
+        assert populated_db.version_store.live_snapshots() == []
 
     def test_rejects_aggregates_and_projections(self, populated_db):
         with pytest.raises(QueryError):

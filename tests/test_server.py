@@ -262,6 +262,55 @@ class TestSessionTransactions:
         assert _wait_until(lambda: not db.txns.active_transactions())
         assert db.select("SysLock") == []
 
+    def test_commit_time_error_surfaces_typed_and_ends_txn(self, served):
+        db, server = served
+        real_log_commit = db.wal.log_commit
+
+        def failing_log_commit(txn_id):
+            raise TransactionError("injected commit failure")
+
+        with Client(*server.address) as c:
+            c.begin()
+            oid = c.new("Vehicle", {"weight": 123, "color": "doomed"})
+            db.wal.log_commit = failing_log_commit
+            try:
+                with pytest.raises(ServerError) as err:
+                    c.commit()
+            finally:
+                db.wal.log_commit = real_log_commit
+            # The failure reaches the caller with its typed wire code —
+            # not swallowed by a pool rollback on a dead transaction.
+            assert err.value.code == "TRANSACTION"
+            assert not c.in_txn
+            # Server side: the transaction was rolled back, not stranded.
+            assert db.txns.active_transactions() == []
+            assert db.select("SysLock") == []
+            assert db.select("Vehicle where color = 'doomed'") == []
+            # The connection is still usable for a fresh transaction.
+            c.begin()
+            c.new("Vehicle", {"weight": 124, "color": "phoenix"})
+            c.commit()
+            assert len(db.select("Vehicle where color = 'phoenix'")) == 1
+
+    def test_transaction_context_propagates_commit_error(self, served):
+        db, server = served
+        real_log_commit = db.wal.log_commit
+
+        def failing_log_commit(txn_id):
+            raise TransactionError("injected commit failure")
+
+        with Client(*server.address) as c:
+            try:
+                with pytest.raises(ServerError) as err:
+                    with c.transaction():
+                        c.new("Vehicle", {"weight": 9, "color": "ghost"})
+                        db.wal.log_commit = failing_log_commit
+            finally:
+                db.wal.log_commit = real_log_commit
+            assert err.value.code == "TRANSACTION"
+            assert not c.in_txn
+            assert db.txns.active_transactions() == []
+
 
 class TestStreaming:
     def test_query_stream_yields_all_rows(self, client):
