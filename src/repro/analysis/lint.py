@@ -161,6 +161,9 @@ ENGINE_LOCK_LATTICE: Dict[str, int] = {
     # ever acquired while holding it, and it nests inside no engine
     # latch (lookups happen before scan locks are taken).
     "_plan_cache_mutex": 8,
+    # The query-statistics accumulator is likewise a leaf: taken only
+    # after a query's pipeline has closed, never around engine calls.
+    "_querystats_mutex": 9,
     "_id_mutex": 10,
     # WAL group commit: the serialization mutex around appends ranks
     # below the group-commit condition (the sync leader re-enters

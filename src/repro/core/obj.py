@@ -97,7 +97,10 @@ class ObjectHandle:
     # -- state access ------------------------------------------------------
 
     def __getitem__(self, name: str) -> Any:
-        state = self._db.get_state(self.oid)
+        # read_state, not get_state: inside a transaction with snapshot
+        # reads on, attribute access agrees with the transaction's query
+        # snapshot (repeatable reads) instead of chasing current state.
+        state = self._db.read_state(self.oid)
         if name not in self._db.schema.attributes(state.class_name):
             raise AttributeNotFoundError(
                 "class %s has no attribute %r" % (state.class_name, name)
@@ -139,12 +142,12 @@ class ObjectHandle:
         ]
 
     def state(self) -> ObjectState:
-        """A defensive copy of the full stored state."""
-        return self._db.get_state(self.oid).copy()
+        """A defensive copy of the full transaction-consistent state."""
+        return self._db.read_state(self.oid).copy()
 
     def to_dict(self) -> Dict[str, Any]:
         """Attribute values as a plain dict (copy)."""
-        return dict(self._db.get_state(self.oid).values)
+        return dict(self._db.read_state(self.oid).values)
 
     # -- behavior ---------------------------------------------------------
 

@@ -13,6 +13,7 @@ here).
 from __future__ import annotations
 
 import contextlib
+import time
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 from .analysis.diagnostics import DiagnosticReport
@@ -29,6 +30,7 @@ from .errors import ObjectNotFoundError, QueryError, SemanticError, TransactionE
 from .index.manager import IndexManager
 from .obs.explain import ExplainResult, operator_tree
 from .obs.metrics import MetricsRegistry
+from .obs.querystats import QueryStats
 from .obs.tracing import Tracer
 from .obs.waits import WaitProfiler
 from .query.ast import AdtPredicate, Query
@@ -77,6 +79,7 @@ class DatabaseStats:
                 "aborted": self._db.txns.aborted_count,
             },
             "metrics": self._db.metrics.snapshot(),
+            "querystats": self._db.query_stats.rows(),
         }
 
     def reset_io(self) -> None:
@@ -98,10 +101,22 @@ class QueryStream:
     """
 
     def __init__(
-        self, db: "Database", pipeline, txn, was_view: bool, snapshot=None
+        self,
+        db: "Database",
+        pipeline,
+        txn,
+        was_view: bool,
+        snapshot=None,
+        plan=None,
+        source=None,
     ) -> None:
         self._db = db
         self._pipeline = pipeline
+        #: The prepared plan and query text, kept so close() can fold
+        #: the stream's counters into the fingerprint statistics.
+        self._plan = plan
+        self._source = source
+        self._started = time.perf_counter()
         #: The stream's own read transaction (None when the caller's
         #: explicit transaction holds the scan locks instead, or when
         #: the stream reads from an MVCC snapshot and needs no locks).
@@ -167,6 +182,15 @@ class QueryStream:
             # Read-only by construction; commit just releases its locks.
             self._txn.commit()
         self._db._close_query_snapshot(self._snapshot)
+        if self._plan is not None:
+            # Elapsed covers open-to-close: for a stream, the client's
+            # pull pace *is* the query's latency as the server sees it.
+            self._db._record_query_stats(
+                self._plan,
+                self._pipeline,
+                self._source,
+                time.perf_counter() - self._started,
+            )
 
     def __enter__(self) -> "QueryStream":
         return self
@@ -293,6 +317,19 @@ class Database:
             self.schema, self.indexes, self._extent_count, self.metrics
         )
         self.schema.on_change(self.plan_cache.on_schema_change)
+        #: Per-query-fingerprint statistics accumulator (SysQueryStat);
+        #: recorded at executor close, purged on schema evolution like
+        #: the plan cache — stale fingerprints describe a dead world.
+        self.query_stats = QueryStats(self.metrics)
+        self.schema.on_change(self.query_stats.on_schema_change)
+        #: ANALYZE output (:class:`~repro.obs.stats.StatisticsCatalog`):
+        #: per-class row counts/sizes and per-index histograms, set by
+        #: :meth:`analyze` (or reloaded from the catalog on reopen) and
+        #: handed to the planner as inert facts for the cost model.
+        self.statistics = None
+        # Waits recorded on a request thread inherit its trace context,
+        # so SysWaitEvent rows link back to the client's trace id.
+        self.waits.current_trace = lambda: self.tracer.current_trace
         #: Per-operator counters of the last *user* query (system-view
         #: queries never overwrite it — observing must not perturb the
         #: observed); served by the SysOperator view.
@@ -358,14 +395,53 @@ class Database:
                 self.schema, self.indexes, self._extent_count, self.metrics
             )
             self.schema.on_change(self.plan_cache.on_schema_change)
+            self.schema.on_change(self.query_stats.on_schema_change)
+        stats_payload = extra.get("statistics")
+        if stats_payload:
+            from .obs.stats import StatisticsCatalog
+
+            self.statistics = StatisticsCatalog.from_dict(stats_payload)
         if recover_on_open:
             _recover(self.wal, self.storage, registry=self.metrics)
         self._oids.advance_past(self.storage.directory.max_oid_value())
 
     def checkpoint(self) -> None:
         """Flush data pages, persist the catalog, truncate the WAL."""
-        self.storage.save_metadata({"schema": self.schema.to_dict()})
+        extra: Dict[str, Any] = {"schema": self.schema.to_dict()}
+        if self.statistics is not None:
+            extra["statistics"] = self.statistics.to_dict()
+        self.storage.save_metadata(extra)
         _checkpoint(self.wal, self.storage)
+
+    def analyze(self):
+        """ANALYZE: collect per-class and per-index statistics.
+
+        Scans every user class extent (row counts, average encoded
+        object size) and walks every index (entry/distinct-key counts,
+        equi-depth value histograms), installs the resulting
+        :class:`~repro.obs.stats.StatisticsCatalog` as ``db.statistics``
+        — where ``SysClassStat``/``SysIndexStat`` and the planner's
+        ``stats=`` argument read it — and, on a durable database,
+        persists it in the storage catalog so it survives close/reopen.
+        Returns the catalog.
+        """
+        # Imported lazily like sysviews: keeps repro.obs importable on
+        # its own (the collector itself only needs callables we pass).
+        from .obs.stats import collect_statistics
+        from .storage.serializer import encode_object
+
+        with self.tracer.span("database.analyze"):
+            catalog = collect_statistics(
+                self.schema,
+                self._scan_coerced,
+                self.indexes,
+                lambda state: len(encode_object(state)),
+                metrics=self.metrics,
+            )
+        self.statistics = catalog
+        if self.path is not None:
+            self.storage.save_metadata({"statistics": catalog.to_dict()})
+        return catalog
 
     @property
     def closed(self) -> bool:
@@ -620,6 +696,33 @@ class Database:
             self._lock(current, oid, class_name, write=False)
         return self._coerce(self.storage.load(oid))
 
+    def read_state(self, oid: OID) -> ObjectState:
+        """Transaction-consistent state: the handle-read path.
+
+        Inside a transaction with snapshot reads on, resolves the object
+        through the transaction's begin snapshot (opened lazily, like
+        the query path) — so ``h["attr"]`` agrees with what the same
+        transaction's queries see, including its own uncommitted writes
+        (the version store short-circuits the reader's own chain).
+        Outside a transaction, or with ``snapshot_reads=False``, this is
+        exactly :meth:`get_state` with its locking semantics.
+        """
+        current = self.txns.current
+        if current is None or not self.snapshot_reads:
+            return self.get_state(oid)
+        if current.snapshot is None:
+            current.snapshot = self.version_store.open_snapshot(current.txn_id)
+        # The current stored state may already be gone (a concurrent
+        # committed delete) while the snapshot still sees the object, so
+        # resolve through the version store before deciding existence.
+        state = self.version_store.resolve(oid, current.snapshot, self._deref(oid))
+        if state is None:
+            raise ObjectNotFoundError(
+                "object %r is not visible to this transaction's snapshot" % (oid,)
+            )
+        self._check_authz("read", state.class_name, oid)
+        return self._coerce(state)
+
     def exists(self, oid: OID) -> bool:
         return self.storage.contains(oid)
 
@@ -833,6 +936,7 @@ class Database:
                 rewritten.query,
                 exclude_classes=report.pruned_classes,
                 facts=rewritten.facts,
+                stats=self.statistics,
             )
         plan.rewrite = rewritten
         self._m_plans.inc()
@@ -966,10 +1070,46 @@ class Database:
         if snapshot is not None and snapshot.ephemeral:
             self.version_store.close_snapshot(snapshot.snapshot)
 
+    def _record_query_stats(
+        self,
+        prepared_plan: Plan,
+        pipeline,
+        source: Optional[str],
+        seconds: float,
+        waits: Optional[Dict[str, float]] = None,
+    ) -> None:
+        """Fold one finished execution into the fingerprint accumulator.
+
+        Keyed on the rewrite fingerprint the plan cache uses, so
+        structurally equal queries share a SysQueryStat row.  System
+        views and hand-built plans carry no rewrite and are skipped —
+        observing the statistics must not perturb them.
+        """
+        executed = getattr(pipeline, "plan", prepared_plan)
+        rewrite = getattr(executed, "rewrite", None)
+        if rewrite is None or pipeline is None:
+            return
+        self.query_stats.record(
+            rewrite.fingerprint,
+            executed.query.target_class,
+            source,
+            seconds,
+            pipeline.examined,
+            pipeline.matched,
+            pipeline.index_probes,
+            cache_hit=bool(executed.cached),
+            downgraded=executed is not prepared_plan,
+            waits=waits,
+            epoch_token=(self.schema.version, self.indexes.epoch),
+        )
+
     def _execute(self, query: Union[str, Query], analyze: bool):
+        source = query if isinstance(query, str) else None
         with self.tracer.span("query.execute"), self._m_query_seconds.time():
             query, plan, report, was_view, snapshot = self._prepare_query(query)
             is_system = self.syscat.is_system(query.target_class)
+            elapsed = 0.0
+            waited: Optional[Dict[str, float]] = None
             try:
                 with self.tracer.span("query.run", access=plan.access.description):
                     if is_system:
@@ -980,9 +1120,12 @@ class Database:
                             timed=analyze,
                         )
                     else:
-                        result = self._executor.execute(
-                            plan, timed=analyze, snapshot=snapshot
-                        )
+                        with self.waits.capture() as waited:
+                            started = time.perf_counter()
+                            result = self._executor.execute(
+                                plan, timed=analyze, snapshot=snapshot
+                            )
+                            elapsed = time.perf_counter() - started
             finally:
                 self._close_query_snapshot(snapshot)
             if analyze:
@@ -997,6 +1140,7 @@ class Database:
                 self._m_query_rows.inc(len(result))
                 return result, report
             self.last_operator_stats = result.operator_stats()
+            self._record_query_stats(plan, result.pipeline, source, elapsed, waited)
             if self.authz is not None and not was_view:
                 # Per-object content filtering; view queries skip it because
                 # the right to the view *is* the content-based authorization.
@@ -1063,6 +1207,7 @@ class Database:
         committed — releasing the scan locks — when the stream is
         exhausted or closed.
         """
+        source = query if isinstance(query, str) else None
         implicit: Optional[Transaction] = None
         if self.txns.current is None and not self.snapshot_reads:
             implicit = self.txns.begin()
@@ -1088,7 +1233,10 @@ class Database:
         finally:
             if implicit is not None:
                 self.txns.detach()
-        return QueryStream(self, pipeline, implicit, was_view, snapshot=snapshot)
+        return QueryStream(
+            self, pipeline, implicit, was_view, snapshot=snapshot,
+            plan=plan, source=source,
+        )
 
     # ------------------------------------------------------------------
     # observability

@@ -98,7 +98,43 @@ def _prom_value(value: Any) -> str:
     return repr(value)
 
 
-def render_prometheus(registry: MetricsRegistry, prefix: str = "kimdb") -> str:
+def _escape_label_value(value: Any) -> str:
+    """Escape a label value per the Prometheus text-format rules."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _render_histogram(
+    lines: List[str], prom: str, histogram: Any, labels: str = ""
+) -> None:
+    """Append one histogram's ``_bucket``/``_sum``/``_count`` series.
+
+    ``labels`` is a pre-rendered ``name="value"`` list (or empty); the
+    ``le`` label is appended after it, as Prometheus convention puts the
+    bucket bound last.
+    """
+    sep = "," if labels else ""
+    cumulative = 0
+    for i, bound in enumerate(histogram.bounds):
+        cumulative += histogram.bucket_counts[i]
+        lines.append(
+            '%s_bucket{%s%sle="%g"} %d' % (prom, labels, sep, bound, cumulative)
+        )
+    lines.append(
+        '%s_bucket{%s%sle="+Inf"} %d' % (prom, labels, sep, histogram.count)
+    )
+    braces = "{%s}" % labels if labels else ""
+    lines.append("%s_sum%s %s" % (prom, braces, _prom_value(histogram.total)))
+    lines.append("%s_count%s %d" % (prom, braces, histogram.count))
+
+
+def render_prometheus(
+    registry: MetricsRegistry, prefix: str = "kimdb", querystats: Any = None
+) -> str:
     """The registry in Prometheus text exposition format.
 
     Counters render as ``<name>_total``, gauges plainly, histograms as
@@ -106,6 +142,12 @@ def render_prometheus(registry: MetricsRegistry, prefix: str = "kimdb") -> str:
     derived metrics render as gauges.  Every instrument in the registry
     appears — the round-trip test parses this text back and compares it
     against :meth:`MetricsRegistry.snapshot`.
+
+    ``querystats`` (a :class:`~repro.obs.querystats.QueryStats`) adds
+    one labeled latency-histogram family,
+    ``<prefix>_query_latency_seconds{fingerprint=...,target=...}``, so a
+    scrape carries per-query-fingerprint latency distributions alongside
+    the registry-wide instruments.
     """
     lines: List[str] = []
     for name in registry.names():
@@ -119,15 +161,7 @@ def render_prometheus(registry: MetricsRegistry, prefix: str = "kimdb") -> str:
             lines.append("%s_total %s" % (prom, _prom_value(metric.value)))
         elif isinstance(metric, Histogram):
             lines.append("# TYPE %s histogram" % prom)
-            cumulative = 0
-            for i, bound in enumerate(metric.bounds):
-                cumulative += metric.bucket_counts[i]
-                lines.append(
-                    '%s_bucket{le="%g"} %d' % (prom, bound, cumulative)
-                )
-            lines.append('%s_bucket{le="+Inf"} %d' % (prom, metric.count))
-            lines.append("%s_sum %s" % (prom, _prom_value(metric.total)))
-            lines.append("%s_count %d" % (prom, metric.count))
+            _render_histogram(lines, prom, metric)
         elif isinstance(metric, Gauge):
             lines.append("# TYPE %s gauge" % prom)
             lines.append("%s %s" % (prom, _prom_value(metric.value)))
@@ -135,4 +169,15 @@ def render_prometheus(registry: MetricsRegistry, prefix: str = "kimdb") -> str:
             value = registry.value(name)
             lines.append("# TYPE %s gauge" % prom)
             lines.append("%s %s" % (prom, _prom_value(value)))
+    if querystats is not None:
+        entries = querystats.entries()
+        if entries:
+            family = _prom_name("query_latency_seconds", prefix)
+            lines.append("# TYPE %s histogram" % family)
+            for entry in entries:
+                labels = 'fingerprint="%s",target="%s"' % (
+                    _escape_label_value(entry.fingerprint),
+                    _escape_label_value(entry.target),
+                )
+                _render_histogram(lines, family, entry.latency, labels)
     return "\n".join(lines) + "\n"

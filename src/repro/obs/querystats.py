@@ -1,0 +1,247 @@
+"""Per-query-fingerprint statistics: kimdb's ``pg_stat_statements``.
+
+Every executed user query is keyed on the normalized-AST fingerprint
+the rewrite pass computes for the plan cache (PR 7), so *structurally
+equal* queries accumulate into one row regardless of how they were
+spelled.  Each entry carries the counters the future cost model and the
+clustering work need: call count, rows examined/matched, index probes,
+plan-cache hits, snapshot plan downgrades, per-kind wait seconds and a
+bucketed latency histogram whose p50/p95/p99 come straight off the
+cumulative buckets.
+
+The accumulator is written once per query at executor close (the
+database facade's ``_execute`` and the streaming path's
+``QueryStream.close``) and read three ways: the ``SysQueryStat`` system
+view, the monitor front end (text panel and Prometheus labeled
+histogram series) and the server ``stats`` op.
+
+Invalidation contract (see DESIGN.md): accumulated statistics describe
+one world.  A schema-epoch bump (``Schema.version``) or an index-epoch
+bump (``IndexManager.epoch``) changes what a fingerprint *means* — the
+same normalized AST may now plan differently — so either purges every
+entry, counted under ``query.stats.invalidations``.  System-view
+queries are never recorded: observing the observer must not perturb it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+
+#: How the wait-kind taxonomy rolls up into per-query wait columns.
+WAIT_GROUPS = {
+    "Lock": "lock_wait",
+    "BufferRead": "io_wait",
+    "BufferWrite": "io_wait",
+    "PageRead": "io_wait",
+    "PageWrite": "io_wait",
+    "WALFlush": "wal_wait",
+    "WALSync": "wal_wait",
+}
+
+
+class QueryStatEntry:
+    """Accumulated statistics for one query fingerprint."""
+
+    __slots__ = (
+        "fingerprint",
+        "target",
+        "source",
+        "calls",
+        "rows_examined",
+        "rows_matched",
+        "index_probes",
+        "plan_cache_hits",
+        "snapshot_downgrades",
+        "latency",
+        "wait_seconds",
+    )
+
+    def __init__(
+        self,
+        fingerprint: str,
+        target: str,
+        source: Optional[str],
+        bounds: Sequence[float],
+    ) -> None:
+        self.fingerprint = fingerprint
+        self.target = target
+        #: First query text seen for this fingerprint (display only;
+        #: None for hand-built Query objects).
+        self.source = source
+        self.calls = 0
+        self.rows_examined = 0
+        self.rows_matched = 0
+        self.index_probes = 0
+        self.plan_cache_hits = 0
+        self.snapshot_downgrades = 0
+        self.latency = Histogram("query.stats.latency", bounds)
+        #: Rolled-up wait seconds per group (lock_wait/io_wait/wal_wait).
+        self.wait_seconds: Dict[str, float] = {}
+
+    def row(self) -> Dict[str, Any]:
+        """One ``SysQueryStat`` row (plain, wire-encodable values)."""
+        latency = self.latency
+        return {
+            "fingerprint": self.fingerprint,
+            "target": self.target,
+            "source": self.source or "",
+            "calls": self.calls,
+            "rows_examined": self.rows_examined,
+            "rows_matched": self.rows_matched,
+            "index_probes": self.index_probes,
+            "plan_cache_hits": self.plan_cache_hits,
+            "snapshot_downgrades": self.snapshot_downgrades,
+            "total_seconds": latency.total,
+            "mean_seconds": latency.mean,
+            "p50": latency.quantile(0.5),
+            "p95": latency.quantile(0.95),
+            "p99": latency.quantile(0.99),
+            "lock_wait": self.wait_seconds.get("lock_wait", 0.0),
+            "io_wait": self.wait_seconds.get("io_wait", 0.0),
+            "wal_wait": self.wait_seconds.get("wal_wait", 0.0),
+        }
+
+
+class QueryStats:
+    """The per-fingerprint accumulator, one per database.
+
+    Thread-safe: server pool threads record concurrently while the
+    monitor scans.  ``_querystats_mutex`` is a leaf in the engine lock
+    lattice — nothing else is ever acquired while holding it, and it is
+    taken only after the query's pipeline has closed.
+    """
+
+    #: Retained fingerprints; beyond this the coldest entry (fewest
+    #: calls, oldest on ties) is evicted so an ad-hoc query storm cannot
+    #: grow the accumulator without bound.
+    DEFAULT_CAPACITY = 512
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        capacity: int = DEFAULT_CAPACITY,
+        bounds: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.capacity = capacity
+        self._bounds = tuple(bounds)
+        self._querystats_mutex = threading.Lock()
+        self._entries: Dict[str, QueryStatEntry] = {}
+        #: The (schema epoch, index epoch) the current entries describe.
+        self._epoch_token: Optional[Tuple[int, int]] = None
+        registry = metrics if metrics is not None else MetricsRegistry(enabled=False)
+        self._m_recorded = registry.counter("query.stats.recorded")
+        self._m_invalidations = registry.counter("query.stats.invalidations")
+        self._m_evictions = registry.counter("query.stats.evictions")
+        self._m_fingerprints = registry.gauge("query.stats.fingerprints")
+
+    # -- recording ---------------------------------------------------------
+
+    def record(
+        self,
+        fingerprint: str,
+        target: str,
+        source: Optional[str],
+        seconds: float,
+        examined: int,
+        matched: int,
+        index_probes: int,
+        cache_hit: bool,
+        downgraded: bool,
+        waits: Optional[Dict[str, float]] = None,
+        epoch_token: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        """Fold one finished query execution into its fingerprint's entry.
+
+        ``waits`` maps raw wait kinds (``Lock``, ``BufferRead``, ...) to
+        seconds blocked during this query, as captured by the wait
+        profiler on the executing thread; kinds roll up per
+        :data:`WAIT_GROUPS`.  ``epoch_token`` is the current
+        (schema epoch, index epoch) pair — a change purges first.
+        """
+        with self._querystats_mutex:
+            if epoch_token is not None and epoch_token != self._epoch_token:
+                if self._entries:
+                    self._m_invalidations.inc(len(self._entries))
+                    self._entries.clear()
+                self._epoch_token = epoch_token
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                entry = QueryStatEntry(fingerprint, target, source, self._bounds)
+                self._entries[fingerprint] = entry
+            entry.calls += 1
+            entry.rows_examined += examined
+            entry.rows_matched += matched
+            entry.index_probes += index_probes
+            if cache_hit:
+                entry.plan_cache_hits += 1
+            if downgraded:
+                entry.snapshot_downgrades += 1
+            if entry.source is None and source is not None:
+                entry.source = source
+            entry.latency.observe(seconds)
+            for kind, seconds_waited in (waits or {}).items():
+                group = WAIT_GROUPS.get(kind)
+                if group is None:
+                    continue
+                entry.wait_seconds[group] = (
+                    entry.wait_seconds.get(group, 0.0) + seconds_waited
+                )
+            # Evict only after this call's counters folded in, so a new
+            # fingerprint arriving at capacity (calls=1) outlives a
+            # colder resident instead of evicting itself at calls=0.
+            while len(self._entries) > self.capacity:
+                coldest = min(
+                    self._entries, key=lambda fp: self._entries[fp].calls
+                )
+                del self._entries[coldest]
+                self._m_evictions.inc()
+            self._m_fingerprints.set(len(self._entries))
+        self._m_recorded.inc()
+
+    # -- invalidation ------------------------------------------------------
+
+    def on_schema_change(self, class_name: str) -> None:
+        """``Schema.on_change`` listener: evolution purges everything.
+
+        The epoch token is also dropped so the next :meth:`record`
+        re-establishes it instead of double-counting the purge.
+        """
+        with self._querystats_mutex:
+            if self._entries:
+                self._m_invalidations.inc(len(self._entries))
+                self._entries.clear()
+            self._epoch_token = None
+            self._m_fingerprints.set(0)
+
+    def reset(self) -> None:
+        with self._querystats_mutex:
+            self._entries.clear()
+            self._epoch_token = None
+            self._m_fingerprints.set(0)
+
+    # -- reading -----------------------------------------------------------
+
+    def get(self, fingerprint: str) -> Optional[QueryStatEntry]:
+        with self._querystats_mutex:
+            return self._entries.get(fingerprint)
+
+    def entries(self) -> List[QueryStatEntry]:
+        """Live entries, hottest (most calls) first."""
+        with self._querystats_mutex:
+            entries = list(self._entries.values())
+        entries.sort(key=lambda e: (-e.calls, e.fingerprint))
+        return entries
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """``SysQueryStat`` rows, hottest first (fresh snapshot per scan)."""
+        return [entry.row() for entry in self.entries()]
+
+    def __len__(self) -> int:
+        with self._querystats_mutex:
+            return len(self._entries)
+
+    def __repr__(self) -> str:
+        return "<QueryStats %d fingerprints>" % len(self)

@@ -58,6 +58,7 @@ SYSTEM_VIEWS: Dict[str, Tuple[Tuple[str, ...], str]] = {
             "avg_wait",
             "last_txn",
             "last_blocker",
+            "last_trace",
         ),
         "aggregated wait events per (kind, target)",
     ),
@@ -83,8 +84,49 @@ SYSTEM_VIEWS: Dict[str, Tuple[Tuple[str, ...], str]] = {
         "live MVCC read snapshots and the version-store entry count",
     ),
     "SysSlowOp": (
-        ("name", "elapsed", "threshold", "target"),
+        ("name", "elapsed", "threshold", "target", "trace"),
         "the tracer's slow-operation log",
+    ),
+    "SysQueryStat": (
+        (
+            "fingerprint",
+            "target",
+            "source",
+            "calls",
+            "rows_examined",
+            "rows_matched",
+            "index_probes",
+            "plan_cache_hits",
+            "snapshot_downgrades",
+            "total_seconds",
+            "mean_seconds",
+            "p50",
+            "p95",
+            "p99",
+            "lock_wait",
+            "io_wait",
+            "wal_wait",
+        ),
+        "accumulated per-query-fingerprint execution statistics",
+    ),
+    "SysClassStat": (
+        ("class_name", "rows", "avg_bytes", "total_bytes"),
+        "ANALYZE row counts and object sizing per class extent",
+    ),
+    "SysIndexStat": (
+        (
+            "index",
+            "kind",
+            "target",
+            "path",
+            "entries",
+            "distinct_keys",
+            "buckets",
+            "low",
+            "high",
+            "histogram",
+        ),
+        "ANALYZE index cardinalities and equi-depth value histograms",
     ),
     "SysSession": (
         (
@@ -214,7 +256,26 @@ class SystemViewsAdapter(Adapter):
                 "elapsed": op.elapsed,
                 "threshold": op.threshold,
                 "target": op.tags.get("target"),
+                "trace": op.tags.get("trace"),
             }
+
+    def _rows_sysquerystat(self) -> Iterator[Row]:
+        stats = getattr(self.db, "query_stats", None)
+        if stats is None:
+            return iter(())
+        return iter(stats.rows())
+
+    def _rows_sysclassstat(self) -> Iterator[Row]:
+        catalog = getattr(self.db, "statistics", None)
+        if catalog is None:
+            return iter(())
+        return iter(catalog.class_rows_table())
+
+    def _rows_sysindexstat(self) -> Iterator[Row]:
+        catalog = getattr(self.db, "statistics", None)
+        if catalog is None:
+            return iter(())
+        return iter(catalog.index_rows_table())
 
     def _rows_sysplancache(self) -> Iterator[Row]:
         cache = getattr(self.db, "plan_cache", None)

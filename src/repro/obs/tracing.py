@@ -6,6 +6,13 @@ call stack (per thread).  Finished spans land in a fixed-size ring
 buffer so a long-lived database never grows without bound, and any span
 slower than the configured threshold is copied to the slow-op log — the
 first place to look when a workload degrades.
+
+A thread can also carry a *trace context*: ``with tracer.trace(id):``
+stamps every span and note recorded inside the block with a
+``trace=<id>`` tag.  The server session adopts the trace id the client
+stamped into the request frame, so a slow query shows up in the
+server-side ``SysSlowOp`` view under the id the client logged — the
+end-to-end propagation contract is documented in DESIGN.md.
 """
 
 from __future__ import annotations
@@ -185,11 +192,42 @@ class Tracer:
         stack = self._stack()
         return stack[-1] if stack else None
 
+    @property
+    def current_trace(self) -> Optional[str]:
+        """The trace id active on this thread, if any."""
+        return getattr(self._local, "trace", None)
+
+    @contextmanager
+    def trace(self, trace_id: Optional[str]) -> Iterator[None]:
+        """Activate ``trace_id`` as this thread's trace context.
+
+        Every span and note recorded inside the block carries a
+        ``trace=<trace_id>`` tag (unless the caller set one explicitly).
+        Contexts nest: the innermost id wins and the previous one is
+        restored on exit.  ``None`` is a no-op context, so call sites
+        can pass an optional id through unconditionally.
+        """
+        if trace_id is None:
+            yield
+            return
+        previous = getattr(self._local, "trace", None)
+        self._local.trace = trace_id
+        try:
+            yield
+        finally:
+            self._local.trace = previous
+
+    def _stamp_trace(self, tags: Dict[str, Any]) -> None:
+        trace_id = getattr(self._local, "trace", None)
+        if trace_id is not None and "trace" not in tags:
+            tags["trace"] = trace_id
+
     @contextmanager
     def span(self, name: str, **tags: Any) -> Iterator[Optional[Span]]:
         if not self.enabled:
             yield None
             return
+        self._stamp_trace(tags)
         stack = self._stack()
         parent = stack[-1] if stack else None
         span = Span(name, tags, self._clock(), parent)
@@ -228,6 +266,7 @@ class Tracer:
         """
         if not self.enabled:
             return
+        self._stamp_trace(tags)
         self._slow.append(SlowOp(name, 0.0, 0.0, tags))
         self._slow_counter.inc()
 

@@ -27,7 +27,8 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from .metrics import MetricsRegistry, NULL_INSTRUMENT
 
@@ -59,7 +60,7 @@ def _metric_name(kind: str) -> str:
 class WaitEvent:
     """One blocking episode, as reported by an engine layer."""
 
-    __slots__ = ("kind", "target", "seconds", "txn_id", "blocker")
+    __slots__ = ("kind", "target", "seconds", "txn_id", "blocker", "trace")
 
     def __init__(
         self,
@@ -68,12 +69,14 @@ class WaitEvent:
         seconds: float,
         txn_id: Optional[int] = None,
         blocker: Optional[int] = None,
+        trace: Optional[str] = None,
     ) -> None:
         self.kind = kind
         self.target = target
         self.seconds = seconds
         self.txn_id = txn_id
         self.blocker = blocker
+        self.trace = trace
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -82,6 +85,7 @@ class WaitEvent:
             "seconds": self.seconds,
             "txn": self.txn_id,
             "blocker": self.blocker,
+            "trace": self.trace,
         }
 
     def __repr__(self) -> str:
@@ -126,15 +130,22 @@ class WaitProfiler:
         #: has no transaction in hand (buffer/pager/WAL); the database
         #: points this at its transaction manager's per-thread current.
         self.current_txn: Callable[[], Optional[int]] = lambda: None
+        #: Provider for the trace id active on the reporting thread; the
+        #: database points this at its tracer's ``current_trace``.
+        self.current_trace: Callable[[], Optional[str]] = lambda: None
         self._waits_mutex = threading.Lock()
         #: (kind, target) -> [count, total_seconds, max_seconds,
-        #:                    last_txn, last_blocker]
+        #:                    last_txn, last_blocker, last_trace]
         self._aggregate: Dict[Tuple[str, Optional[str]], List[Any]] = {}
         #: txn_id -> kind -> [count, total_seconds]  (insertion-ordered
         #: for eviction).
         self._by_txn: Dict[int, Dict[str, List[float]]] = {}
         self._recent: "deque[WaitEvent]" = deque(maxlen=recent_capacity)
         self._instruments: Dict[str, Tuple[Any, Any]] = {}
+        #: Per-thread stack of active capture dicts (kind -> seconds);
+        #: waits are recorded on the blocking thread, so thread-local
+        #: capture attributes them to the exact query that blocked.
+        self._local = threading.local()
 
     # -- recording -----------------------------------------------------------
 
@@ -169,12 +180,19 @@ class WaitProfiler:
             return
         if txn_id is None:
             txn_id = self.current_txn()
-        event = WaitEvent(kind, target, seconds, txn_id, blocker)
+        trace = self.current_trace()
+        event = WaitEvent(kind, target, seconds, txn_id, blocker, trace)
         counter, histogram = self._kind_instruments(kind)
+        captures = getattr(self._local, "captures", None)
+        if captures:
+            for capture in captures:
+                capture[kind] = capture.get(kind, 0.0) + seconds
         with self._waits_mutex:
             row = self._aggregate.get((kind, target))
             if row is None:
-                self._aggregate[(kind, target)] = [1, seconds, seconds, txn_id, blocker]
+                self._aggregate[(kind, target)] = [
+                    1, seconds, seconds, txn_id, blocker, trace,
+                ]
             else:
                 row[0] += 1
                 row[1] += seconds
@@ -184,6 +202,8 @@ class WaitProfiler:
                     row[3] = txn_id
                 if blocker is not None:
                     row[4] = blocker
+                if trace is not None:
+                    row[5] = trace
             if txn_id is not None:
                 per_txn = self._by_txn.get(txn_id)
                 if per_txn is None:
@@ -197,6 +217,28 @@ class WaitProfiler:
         counter.inc()
         histogram.observe(seconds)
 
+    @contextmanager
+    def capture(self) -> Iterator[Dict[str, float]]:
+        """Collect this thread's waits into a ``kind -> seconds`` dict.
+
+        The query-statistics layer wraps each query execution in a
+        capture to attribute blocked time to the query's fingerprint.
+        Captures nest (an outer capture still sees waits recorded while
+        an inner one is active) and cost nothing off-thread: only waits
+        recorded *on the capturing thread* land in the dict, which is
+        exactly the per-query attribution semantics we want.
+        """
+        captures = getattr(self._local, "captures", None)
+        if captures is None:
+            captures = []
+            self._local.captures = captures
+        bucket: Dict[str, float] = {}
+        captures.append(bucket)
+        try:
+            yield bucket
+        finally:
+            captures.remove(bucket)
+
     # -- reading -------------------------------------------------------------
 
     def rows(self) -> List[Dict[str, Any]]:
@@ -208,7 +250,7 @@ class WaitProfiler:
                 for (kind, target), values in self._aggregate.items()
             ]
         out = []
-        for kind, target, (count, total, peak, last_txn, last_blocker) in items:
+        for kind, target, (count, total, peak, last_txn, last_blocker, last_trace) in items:
             out.append(
                 {
                     "kind": kind,
@@ -219,6 +261,7 @@ class WaitProfiler:
                     "avg_wait": total / count if count else 0.0,
                     "last_txn": last_txn,
                     "last_blocker": last_blocker,
+                    "last_trace": last_trace,
                 }
             )
         out.sort(key=lambda row: row["total_wait"], reverse=True)

@@ -208,8 +208,22 @@ class Planner:
     # -- public API --------------------------------------------------------
 
     def plan(
-        self, query: Query, exclude_classes: Sequence[str] = (), facts=None
+        self,
+        query: Query,
+        exclude_classes: Sequence[str] = (),
+        facts=None,
+        stats=None,
     ) -> Plan:
+        """Choose an access path.
+
+        ``stats`` is an optional ANALYZE
+        :class:`~repro.obs.stats.StatisticsCatalog` (duck-typed, like
+        the system catalog).  It is *inert facts* for now: the plan
+        notes record the measured cardinality next to the live extent
+        count, but access-path choice still runs on the live counts —
+        the cost model that trades measured selectivities against scan
+        costs is the next ROADMAP item and will consume this argument.
+        """
         # System statistics views bypass schema validation entirely: they
         # are not classes, have no hierarchy, no extents and no indexes.
         if self.system_catalog is not None and self.system_catalog.is_system(
@@ -275,6 +289,18 @@ class Planner:
                 "analysis pruned %s from scope (predicate statically "
                 "unsatisfiable there)" % ", ".join(pruned)
             )
+        if stats is not None:
+            analyzed = [
+                rows
+                for rows in (stats.class_rows(cls) for cls in scope)
+                if rows is not None
+            ]
+            if analyzed:
+                notes.append(
+                    "stats: ANALYZE measured %d row(s) in scope "
+                    "(schema v%d) vs live extent count %d"
+                    % (sum(analyzed), stats.schema_version, int(scan_cost))
+                )
         if best is not None and best[0] < scan_cost:
             cost, access, residual_list = best
             residual = _and_together(residual_list)

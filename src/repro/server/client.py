@@ -18,6 +18,7 @@ import contextlib
 import socket
 import struct
 import threading
+import uuid
 from typing import Any, Dict, Iterator, List, Optional
 
 from ..core.oid import OID
@@ -34,13 +35,24 @@ from .protocol import (
 class Client:
     """One blocking connection to a kimdb server."""
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        trace_id: Optional[str] = None,
+    ) -> None:
         self.host = host
         self.port = port
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._next_id = 1
         self._closed = False
+        #: This connection's trace id, stamped into every request frame
+        #: (with the request id as the span id) and adopted server-side,
+        #: so the client can find its own slow queries in SysSlowOp /
+        #: SysWaitEvent by an id it chose — or logged — itself.
+        self.trace_id = trace_id if trace_id is not None else uuid.uuid4().hex[:16]
         #: True between a successful begin and its commit/rollback
         #: (the pool rolls back before reusing the connection).
         self.in_txn = False
@@ -57,7 +69,15 @@ class Client:
             raise ConnectionError("client is closed")
         request_id = self._next_id
         self._next_id += 1
-        send_frame(self._sock, {"id": request_id, "op": op, "params": params})
+        send_frame(
+            self._sock,
+            {
+                "id": request_id,
+                "op": op,
+                "params": params,
+                "trace": {"id": self.trace_id, "span": request_id},
+            },
+        )
         payload, _n = recv_frame(self._sock)
         if payload.get("id") not in (request_id, None):
             raise ConnectionError(

@@ -10,7 +10,13 @@ This one is deliberately small:
   must not make the peer allocate gigabytes).
 * **Requests** — ``{"id": n, "op": "query", "params": {...}}``.  The id
   is chosen by the client and echoed back verbatim, so a client library
-  can pipeline requests if it wants to (the bundled one does not).
+  can pipeline requests if it wants to (the bundled one does not).  An
+  optional ``"trace": {"id": str, "span": n}`` field propagates the
+  client's trace context: the server adopts the id for the request's
+  spans, wait events and slow-op log entries (see
+  :meth:`~repro.obs.tracing.Tracer.trace`), so a slow query is findable
+  server-side — SysSlowOp, SysWaitEvent — by the id the client logged.
+  Unknown or malformed trace fields are ignored, never an error.
 * **Responses** — ``{"id": n, "ok": true, "result": ...}`` on success,
   or ``{"id": n, "ok": false, "error": {"code": ..., "message": ...}}``.
   Error *codes* are the stable contract (clients dispatch on them);

@@ -112,6 +112,7 @@ class Session:
         request_id = payload.get("id")
         op = payload.get("op")
         params = payload.get("params") or {}
+        trace_id = self._trace_id(payload.get("trace"))
         self.busy = True
         try:
             with self._session_mutex:
@@ -126,8 +127,13 @@ class Session:
                     raise SessionError("unknown op %r" % op)
                 if not isinstance(params, dict):
                     raise SessionError("params must be an object")
-                with self.db.tracer.span("server.request", target=str(op)):
-                    result = handler(params)
+                # Adopt the client's trace context for the whole request:
+                # the server.request span, every nested engine span, wait
+                # events and slow-op entries recorded on this thread all
+                # carry the id the client stamped into the frame.
+                with self.db.tracer.trace(trace_id):
+                    with self.db.tracer.span("server.request", target=str(op)):
+                        result = handler(params)
             return ok_response(request_id, result)
         except DeadlockError as exc:
             # The engine chose this transaction as the deadlock victim;
@@ -142,6 +148,22 @@ class Session:
         finally:
             self._last_active_clock = time.perf_counter()
             self.busy = False
+
+    @staticmethod
+    def _trace_id(trace: Any) -> Optional[str]:
+        """Sanitize the optional request-frame trace field.
+
+        Accepts ``{"id": ..., "span": ...}`` (the client's format) or a
+        bare string; anything else — or an oversized id, this is
+        client-controlled input landing in server-side views — is
+        dropped rather than rejected: tracing is observability, not
+        validation, and an untraced request must still succeed.
+        """
+        if isinstance(trace, dict):
+            trace = trace.get("id")
+        if not isinstance(trace, str) or not trace or len(trace) > 64:
+            return None
+        return trace
 
     def _op_table(self) -> Dict[str, Callable[[Dict[str, Any]], Any]]:
         return {

@@ -54,6 +54,8 @@ COST_PREFIXES = (
     "rewrite.",
     "txn.snapshot.",
     "wal.group_commit.",
+    "query.stats.",
+    "analyze.",
 )
 
 

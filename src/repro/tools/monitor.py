@@ -47,6 +47,10 @@ def build_demo_database() -> Database:
     db.create_class_index("Vehicle", "weight")
     db.execute("SELECT v FROM Vehicle v WHERE v.weight >= 950")
     db.execute("Vehicle where color = 'red' order by weight desc limit 5")
+    # Repeat one query so SysQueryStat shows calls > 1 and a cache hit,
+    # and ANALYZE so SysClassStat/SysIndexStat have rows.
+    db.execute("SELECT v FROM Vehicle v WHERE v.weight >= 950")
+    db.analyze()
     _demo_lock_conflict(db)
     return db
 
@@ -119,7 +123,22 @@ PANELS = [
     (
         "slow operations",
         "SysSlowOp order by elapsed desc limit 10",
-        ["name", "elapsed", "threshold", "target"],
+        ["name", "elapsed", "threshold", "target", "trace"],
+    ),
+    (
+        "hot queries",
+        "SysQueryStat order by calls desc limit 10",
+        ["fingerprint", "target", "calls", "plan_cache_hits", "mean_seconds", "p95", "lock_wait"],
+    ),
+    (
+        "class statistics (ANALYZE)",
+        "SysClassStat order by rows desc limit 10",
+        ["class_name", "rows", "avg_bytes", "total_bytes"],
+    ),
+    (
+        "index statistics (ANALYZE)",
+        "SysIndexStat order by entries desc limit 10",
+        ["index", "kind", "path", "entries", "distinct_keys", "buckets", "low", "high"],
     ),
     (
         "last query pipeline",
@@ -167,7 +186,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     db = build_demo_database()
     try:
         if args.prometheus:
-            sys.stdout.write(render_prometheus(db.metrics))
+            sys.stdout.write(
+                render_prometheus(db.metrics, querystats=db.query_stats)
+            )
             return 0
         if args.once:
             print(render_snapshot(db))

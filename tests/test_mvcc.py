@@ -322,3 +322,107 @@ class TestGroupCommit:
         )
         assert values == [1]
         reopened.close()
+
+
+class TestHandleSnapshotReads:
+    """Handle attribute reads (``h["attr"]``) follow the txn snapshot.
+
+    PR-8 follow-up: queries inside a transaction read the begin
+    snapshot, but ``h["attr"]`` used to chase current stored state — a
+    read inside one transaction could watch a concurrent commit change
+    an attribute between two accesses.  ``Database.read_state`` routes
+    handle reads through ``Snapshot.resolve`` so both paths agree.
+    """
+
+    def test_handle_read_is_repeatable_across_concurrent_commit(self):
+        db = _vehicle_db()
+        try:
+            handle = db.select("Vehicle where weight = 1000")[0]
+            with db.transaction():
+                assert handle["weight"] == 1000  # opens the txn snapshot
+
+                def writer():
+                    db.update(handle.oid, {"weight": 4444})
+
+                _in_thread(writer)
+                # The committed update is invisible to the handle read,
+                # exactly as it is to a query in this transaction.
+                assert handle["weight"] == 1000
+                assert handle.state().values["weight"] == 1000
+                assert handle.to_dict()["weight"] == 1000
+                assert db.execute(
+                    "Vehicle where weight = 4444"
+                ).oids == []
+            # Transaction over: the handle sees the new world.
+            assert handle["weight"] == 4444
+        finally:
+            db.close()
+
+    def test_handle_read_sees_own_writes(self):
+        db = _vehicle_db()
+        try:
+            with db.transaction():
+                handle = db.new("Vehicle", {"weight": 7000})
+                assert handle["weight"] == 7000
+                db.update(handle.oid, {"weight": 7001})
+                assert handle["weight"] == 7001
+        finally:
+            db.close()
+
+    def test_handle_read_survives_concurrent_delete(self):
+        db = _vehicle_db()
+        try:
+            handle = db.select("Vehicle where weight = 1002")[0]
+            with db.transaction():
+                assert handle["weight"] == 1002
+
+                def writer():
+                    db.delete(handle.oid)
+
+                _in_thread(writer)
+                # Deleted under our feet, but our snapshot still has it.
+                assert handle["weight"] == 1002
+        finally:
+            db.close()
+
+    def test_get_state_still_reads_current_state(self):
+        # The locking read path is unchanged: inside the same
+        # transaction whose handle read sees the snapshot, get_state
+        # returns the concurrently committed current state (and takes
+        # its read lock).  The lock-conflict tests elsewhere depend on
+        # this blocking behavior.
+        db = _vehicle_db()
+        try:
+            handle = db.select("Vehicle where weight = 1004")[0]
+            with db.transaction():
+                assert handle["weight"] == 1004
+
+                def writer():
+                    db.update(handle.oid, {"weight": 5555})
+
+                _in_thread(writer)
+                assert handle["weight"] == 1004
+                assert db.get_state(handle.oid).values["weight"] == 5555
+        finally:
+            db.close()
+
+    def test_handle_read_outside_transaction_is_current(self):
+        db = _vehicle_db()
+        try:
+            handle = db.select("Vehicle where weight = 1006")[0]
+            db.update(handle.oid, {"weight": 3333})
+            assert handle["weight"] == 3333
+            assert db.read_state(handle.oid).values["weight"] == 3333
+        finally:
+            db.close()
+
+    def test_handle_read_with_snapshots_off_matches_get_state(self):
+        db = _vehicle_db(snapshot_reads=False)
+        try:
+            handle = db.select("Vehicle where weight = 1008")[0]
+            with db.transaction():
+                assert handle["weight"] == 1008
+                db.update(handle.oid, {"weight": 2222})
+                assert handle["weight"] == 2222
+        finally:
+            db.close()
