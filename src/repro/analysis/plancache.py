@@ -106,6 +106,8 @@ class PlanCache:
         self._m_misses = metrics.counter("query.plan_cache.misses")
         self._m_invalidations = metrics.counter("query.plan_cache.invalidations")
         self._m_evictions = metrics.counter("query.plan_cache.evictions")
+        self._m_recosts = metrics.counter("query.cost.plan_cache_recosts")
+        self._m_flips = metrics.counter("query.cost.plan_cache_flips")
 
     # -- validity ----------------------------------------------------------
 
@@ -199,6 +201,47 @@ class PlanCache:
 
     # -- invalidation ------------------------------------------------------
 
+    def on_statistics_change(self, replan: Any) -> None:
+        """Re-cost every cached plan against a fresh ANALYZE catalog.
+
+        ``replan(entry) -> Plan`` re-runs the planner for one entry under
+        the new statistics.  Entries whose winning access path stands get
+        the freshly costed plan swapped in (so EXPLAIN shows current
+        numbers); entries whose winner *flipped* are dropped — the next
+        lookup re-plans and re-caches.  Replanning happens outside the
+        cache mutex: the planner reads extent counts and index trees,
+        and no engine lock may be acquired under the leaf-level cache
+        lock.  Counters land under ``query.cost.plan_cache_recosts`` /
+        ``..._flips``.
+        """
+        with self._plan_cache_mutex:
+            snapshot = list(self._entries.items())
+        flipped: List[str] = []
+        replacements: Dict[str, Any] = {}
+        for fingerprint, entry in snapshot:
+            try:
+                plan = replan(entry)
+            except Exception:
+                # A query the new world can no longer plan (e.g. a class
+                # dropped without a schema bump) just falls out of cache.
+                flipped.append(fingerprint)
+                continue
+            self._m_recosts.inc()
+            if plan.access.description == entry.plan.access.description:
+                replacements[fingerprint] = plan
+            else:
+                flipped.append(fingerprint)
+        with self._plan_cache_mutex:
+            for fingerprint, plan in replacements.items():
+                entry = self._entries.get(fingerprint)
+                if entry is not None:
+                    entry.plan = plan
+            for fingerprint in flipped:
+                if fingerprint in self._entries:
+                    self._drop(fingerprint)
+                    self._m_flips.inc()
+                    self._m_invalidations.inc()
+
     def on_schema_change(self, class_name: str) -> None:
         """``Schema.on_change`` listener: evolution purges everything.
 
@@ -241,12 +284,16 @@ class PlanCache:
         out: List[Dict[str, Any]] = []
         for entry in entries:
             rewrite = getattr(entry.plan, "rewrite", None)
+            cost = getattr(entry.plan, "cost", None)
             out.append(
                 {
                     "fingerprint": entry.fingerprint,
                     "target": entry.plan.query.target_class,
                     "source": entry.source or "",
                     "access": entry.plan.access.description,
+                    "cost_mode": (
+                        cost.mode if cost is not None else "heuristic"
+                    ),
                     "hits": entry.hits,
                     "schema_epoch": entry.schema_version,
                     "index_epoch": entry.index_epoch,

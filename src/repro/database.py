@@ -308,6 +308,7 @@ class Database:
         self.planner = Planner(
             self.schema, self.indexes, self._extent_count,
             system_catalog=self.syscat,
+            page_size=self.storage.pager.page_size,
         )
         #: Normalized-plan cache: hot queries skip parse/analyze/plan.
         #: Eagerly purged on schema evolution via the schema listener;
@@ -350,6 +351,24 @@ class Database:
         self._m_rewrite_contradictions = self.metrics.counter(
             "rewrite.contradictions"
         )
+        # Cost-model decision family (benchgate-gated): how often the
+        # statistics model vs. the live-count heuristics picked the plan,
+        # how many candidates were weighed, and the estimated-vs-actual
+        # row totals that expose systematic mis-estimation.
+        self._m_cost_stats_decisions = self.metrics.counter(
+            "query.cost.decisions_statistics"
+        )
+        self._m_cost_heuristic_decisions = self.metrics.counter(
+            "query.cost.decisions_heuristic"
+        )
+        self._m_cost_stale_fallbacks = self.metrics.counter(
+            "query.cost.stale_fallbacks"
+        )
+        self._m_cost_candidates = self.metrics.counter("query.cost.candidates")
+        self._m_cost_estimated_rows = self.metrics.counter(
+            "query.cost.estimated_rows"
+        )
+        self._m_cost_actual_rows = self.metrics.counter("query.cost.actual_rows")
         #: True while a transaction rollback is replaying compensations;
         #: cascading side-effects (composite delete propagation) are
         #: suppressed — each mutation has its own compensation.
@@ -390,6 +409,7 @@ class Database:
             self.planner = Planner(
                 self.schema, self.indexes, self._extent_count,
                 system_catalog=self.syscat,
+                page_size=self.storage.pager.page_size,
             )
             self.plan_cache = PlanCache(
                 self.schema, self.indexes, self._extent_count, self.metrics
@@ -439,9 +459,44 @@ class Database:
                 metrics=self.metrics,
             )
         self.statistics = catalog
+        # Fresh statistics can flip a cached plan's winning access path:
+        # re-cost every cached entry against the new catalog, keeping the
+        # ones whose choice stands and dropping the ones that flipped.
+        self.plan_cache.on_statistics_change(self._recost_cached_plan)
         if self.path is not None:
             self.storage.save_metadata({"statistics": catalog.to_dict()})
         return catalog
+
+    def _recost_cached_plan(self, entry):
+        """Re-plan one cached query against the current statistics."""
+        pruned = ()
+        if entry.report is not None:
+            pruned = tuple(entry.report.pruned_classes)
+        facts = None
+        rewrite = getattr(entry.plan, "rewrite", None)
+        if rewrite is not None:
+            facts = rewrite.facts
+        plan = self.planner.plan(
+            entry.plan.query,
+            exclude_classes=pruned,
+            facts=facts,
+            stats=self.statistics,
+            downgrade_hint=self._snapshot_downgrade_hint,
+        )
+        plan.rewrite = rewrite
+        return plan
+
+    def _snapshot_downgrade_hint(self, scope) -> bool:
+        """Would the executor downgrade index probes over this scope?
+
+        Mirrors the executor's snapshot rule: under snapshot reads, a
+        live version entry for any scope class forces extent scans, so
+        the cost model should price index candidates as the scans they
+        would become.
+        """
+        if not self.snapshot_reads:
+            return False
+        return self.version_store.has_entries(scope)
 
     @property
     def closed(self) -> bool:
@@ -937,9 +992,11 @@ class Database:
                 exclude_classes=report.pruned_classes,
                 facts=rewritten.facts,
                 stats=self.statistics,
+                downgrade_hint=self._snapshot_downgrade_hint,
             )
         plan.rewrite = rewritten
         self._m_plans.inc()
+        self._record_cost_decision(plan)
         if cacheable:
             digest = (
                 "contradiction"
@@ -952,6 +1009,20 @@ class Database:
                 rewritten.fingerprint, plan, report, digest, source=source
             )
         return plan
+
+    def _record_cost_decision(self, plan: Plan) -> None:
+        """Count one fresh planning decision under ``query.cost.*``."""
+        decision = getattr(plan, "cost", None)
+        if decision is None:
+            self._m_cost_heuristic_decisions.inc()
+            return
+        if decision.mode == "statistics":
+            self._m_cost_stats_decisions.inc()
+            self._m_cost_candidates.inc(len(decision.candidates))
+        else:
+            self._m_cost_heuristic_decisions.inc()
+            if decision.stale_reason is not None:
+                self._m_cost_stale_fallbacks.inc()
 
     def plan(self, query: Union[str, Query]) -> Plan:
         source = query if isinstance(query, str) else None
@@ -1102,6 +1173,13 @@ class Database:
             waits=waits,
             epoch_token=(self.schema.version, self.indexes.epoch),
         )
+        # Estimated-vs-actual row totals: the ratio of these counters is
+        # the cost model's aggregate estimation error (EXPLAIN shows the
+        # per-query version via SysQueryStat).
+        cost = getattr(prepared_plan, "cost", None)
+        if cost is not None and cost.mode == "statistics":
+            self._m_cost_estimated_rows.inc(int(round(cost.estimated_rows)))
+            self._m_cost_actual_rows.inc(pipeline.matched)
 
     def _execute(self, query: Union[str, Query], analyze: bool):
         source = query if isinstance(query, str) else None
@@ -1165,8 +1243,18 @@ class Database:
         """
         with self.tracer.span("query.explain"):
             result, report = self._execute(query, analyze=True)
+        rewrite = getattr(result.plan, "rewrite", None)
+        entry = (
+            self.query_stats.get(rewrite.fingerprint)
+            if rewrite is not None
+            else None
+        )
         return ExplainResult(
-            result.plan, result.analysis, result, diagnostics=report
+            result.plan,
+            result.analysis,
+            result,
+            diagnostics=report,
+            querystats=entry,
         )
 
     def explain_analyze(self, query: Union[str, Query]) -> str:

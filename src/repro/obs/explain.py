@@ -176,13 +176,19 @@ def operator_tree(plan, pipeline) -> PlanNode:
 class ExplainResult:
     """What ``Database.explain`` returns: tree + stats + rendering."""
 
-    def __init__(self, plan, root: PlanNode, result, diagnostics=None) -> None:
+    def __init__(
+        self, plan, root: PlanNode, result, diagnostics=None, querystats=None
+    ) -> None:
         self.plan = plan
         self.root = root
         self.result = result
         #: The :class:`~repro.analysis.diagnostics.DiagnosticReport` from
         #: the semantic-analysis pass (None when analysis was skipped).
         self.diagnostics = diagnostics
+        #: The query's accumulated SysQueryStat entry (duck-typed
+        #: :class:`~repro.obs.querystats.QueryStatEntry` or None): the
+        #: observed-rows side of the ``-- cost --`` section.
+        self.querystats = querystats
 
     @property
     def tree(self) -> Dict[str, Any]:
@@ -202,6 +208,7 @@ class ExplainResult:
             )
         lines.append("-- plan --")
         lines.append(self.root.render())
+        lines.extend(self._cost_lines())
         rewrite = getattr(self.plan, "rewrite", None)
         if rewrite is not None and (rewrite.rules or getattr(self.plan, "cached", False)):
             lines.append("-- rewrite --")
@@ -213,6 +220,52 @@ class ExplainResult:
             lines.append("-- analysis --")
             lines.append(self.diagnostics.render())
         return "\n".join(lines)
+
+    def _cost_lines(self) -> List[str]:
+        """The ``-- cost --`` section: the decision, every candidate's
+        pages/rows totals, and estimated vs. SysQueryStat-observed rows."""
+        decision = getattr(self.plan, "cost", None)
+        lines = ["-- cost --"]
+        if decision is None:
+            lines.append(
+                "model: heuristic (no ANALYZE statistics — run "
+                "Database.analyze() to enable cost-based choices)"
+            )
+        elif decision.mode == "statistics":
+            lines.append(
+                "model: statistics (ANALYZE schema v%d, index epoch %d)"
+                % (decision.schema_version, decision.index_epoch)
+            )
+            for candidate in decision.candidates:
+                marker = "  <- chosen" if candidate.chosen else ""
+                lines.append("candidate %s%s" % (candidate.describe(), marker))
+            lines.append("estimated rows: %.1f" % decision.estimated_rows)
+        else:
+            lines.append("model: heuristic (%s)" % decision.reason)
+            if decision.stale_reason is not None:
+                lines.append(
+                    "WARNING: statistics are stale (%s) — costing fell "
+                    "back to live-count heuristics; re-run "
+                    "Database.analyze()" % decision.stale_reason
+                )
+        entry = self.querystats
+        if entry is not None and entry.calls:
+            avg_examined = entry.rows_examined / float(entry.calls)
+            avg_matched = entry.rows_matched / float(entry.calls)
+            lines.append(
+                "observed (SysQueryStat, %d call(s)): avg examined %.1f, "
+                "avg matched %.1f" % (entry.calls, avg_examined, avg_matched)
+            )
+            if (
+                decision is not None
+                and decision.mode == "statistics"
+                and avg_matched > 0
+            ):
+                lines.append(
+                    "estimated/observed rows: %.2fx"
+                    % (decision.estimated_rows / avg_matched)
+                )
+        return lines
 
     def __str__(self) -> str:
         return self.render()

@@ -96,6 +96,7 @@ class IndexStat:
         "entries",
         "distinct_keys",
         "boundaries",
+        "depths",
         "low",
         "high",
     )
@@ -111,6 +112,7 @@ class IndexStat:
         boundaries: List[Any],
         low: Any,
         high: Any,
+        depths: Optional[List[int]] = None,
     ) -> None:
         self.name = name
         self.kind = kind
@@ -119,6 +121,10 @@ class IndexStat:
         self.entries = entries
         self.distinct_keys = distinct_keys
         self.boundaries = boundaries
+        # Per-bucket entry counts, parallel to ``boundaries``.  Catalogs
+        # persisted before depths existed load with an empty list; the
+        # cost model then assumes uniform bucket depth.
+        self.depths = list(depths) if depths else []
         self.low = low
         self.high = high
 
@@ -131,6 +137,7 @@ class IndexStat:
             "entries": self.entries,
             "distinct_keys": self.distinct_keys,
             "boundaries": list(self.boundaries),
+            "depths": list(self.depths),
             "low": self.low,
             "high": self.high,
         }
@@ -147,6 +154,7 @@ class IndexStat:
             list(data.get("boundaries", [])),
             data.get("low"),
             data.get("high"),
+            depths=[int(d) for d in data.get("depths", [])],
         )
 
     def row(self) -> Dict[str, Any]:
@@ -251,37 +259,53 @@ class StatisticsCatalog:
         )
 
 
-def equi_depth_boundaries(
+def equi_depth_histogram(
     key_counts: Iterable[Tuple[Any, int]], buckets: int = HISTOGRAM_BUCKETS
-) -> List[Any]:
-    """Equi-depth bucket upper bounds from (key, entry count) pairs.
+) -> Tuple[List[Any], List[int]]:
+    """Equi-depth bucket upper bounds and depths from (key, count) pairs.
 
     ``key_counts`` must arrive in key order (as ``BTree.range`` yields).
     Each boundary is the key at which the cumulative entry count crosses
     the next 1/buckets quantile; the final boundary is always the
     maximum key, and boundaries never repeat, so heavy keys simply
-    widen their bucket's depth rather than duplicating bounds.
+    widen their bucket's depth rather than duplicating bounds.  The
+    returned ``depths`` list is parallel to the boundaries: ``depths[i]``
+    is the exact number of entries whose key falls in
+    ``(boundaries[i-1], boundaries[i]]`` (first bucket: ``[low,
+    boundaries[0]]``), so ``sum(depths) == total entries``.
     """
     ordered = list(key_counts)
     if not ordered:
-        return []
+        return [], []
     total = sum(count for _key, count in ordered)
     if total <= 0:
-        return []
+        return [], []
     boundaries: List[Any] = []
+    depths: List[int] = []
     depth = total / float(buckets)
     threshold = depth
     cumulative = 0
+    emitted = 0
     for key, count in ordered:
         cumulative += count
         if cumulative >= threshold:
             boundaries.append(_plain(key))
+            depths.append(cumulative - emitted)
+            emitted = cumulative
             while threshold <= cumulative:
                 threshold += depth
     last = _plain(ordered[-1][0])
     if not boundaries or boundaries[-1] != last:
         boundaries.append(last)
-    return boundaries
+        depths.append(cumulative - emitted)
+    return boundaries, depths
+
+
+def equi_depth_boundaries(
+    key_counts: Iterable[Tuple[Any, int]], buckets: int = HISTOGRAM_BUCKETS
+) -> List[Any]:
+    """Just the bucket upper bounds of :func:`equi_depth_histogram`."""
+    return equi_depth_histogram(key_counts, buckets)[0]
 
 
 def collect_statistics(
@@ -338,6 +362,7 @@ def collect_statistics(
                 low = key
             high = key
             key_counts.append((key, count))
+        boundaries, depths = equi_depth_histogram(key_counts, buckets)
         index_stats[index.name] = IndexStat(
             index.name,
             index.kind,
@@ -345,9 +370,10 @@ def collect_statistics(
             ".".join(index.path),
             entries,
             distinct,
-            equi_depth_boundaries(key_counts, buckets),
+            boundaries,
             _plain(low),
             _plain(high),
+            depths=depths,
         )
         m_indexes.inc()
         m_keys.inc(distinct)

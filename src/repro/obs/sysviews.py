@@ -110,7 +110,7 @@ SYSTEM_VIEWS: Dict[str, Tuple[Tuple[str, ...], str]] = {
         "accumulated per-query-fingerprint execution statistics",
     ),
     "SysClassStat": (
-        ("class_name", "rows", "avg_bytes", "total_bytes"),
+        ("class_name", "rows", "avg_bytes", "total_bytes", "stale"),
         "ANALYZE row counts and object sizing per class extent",
     ),
     "SysIndexStat": (
@@ -125,6 +125,7 @@ SYSTEM_VIEWS: Dict[str, Tuple[Tuple[str, ...], str]] = {
             "low",
             "high",
             "histogram",
+            "stale",
         ),
         "ANALYZE index cardinalities and equi-depth value histograms",
     ),
@@ -152,6 +153,7 @@ SYSTEM_VIEWS: Dict[str, Tuple[Tuple[str, ...], str]] = {
             "target",
             "source",
             "access",
+            "cost_mode",
             "hits",
             "schema_epoch",
             "index_epoch",
@@ -265,17 +267,30 @@ class SystemViewsAdapter(Adapter):
             return iter(())
         return iter(stats.rows())
 
+    def _catalog_staleness(self, catalog) -> str:
+        """The catalog's live staleness, surfaced on every stats row."""
+        return (
+            catalog.stale_reason(self.db.schema.version, self.db.indexes.epoch)
+            or ""
+        )
+
     def _rows_sysclassstat(self) -> Iterator[Row]:
         catalog = getattr(self.db, "statistics", None)
         if catalog is None:
             return iter(())
-        return iter(catalog.class_rows_table())
+        stale = self._catalog_staleness(catalog)
+        return iter(
+            dict(row, stale=stale) for row in catalog.class_rows_table()
+        )
 
     def _rows_sysindexstat(self) -> Iterator[Row]:
         catalog = getattr(self.db, "statistics", None)
         if catalog is None:
             return iter(())
-        return iter(catalog.index_rows_table())
+        stale = self._catalog_staleness(catalog)
+        return iter(
+            dict(row, stale=stale) for row in catalog.index_rows_table()
+        )
 
     def _rows_sysplancache(self) -> Iterator[Row]:
         cache = getattr(self.db, "plan_cache", None)

@@ -156,6 +156,10 @@ class Plan:
         self.rewrite = None
         #: True once this plan has been served from the plan cache.
         self.cached = False
+        #: The :class:`~repro.query.cost.CostDecision` that produced (or
+        #: declined to produce) this plan; None when no ANALYZE catalog
+        #: was offered.  EXPLAIN renders it as the ``-- cost --`` section.
+        self.cost = None
 
     def explain(self) -> str:
         lines = [
@@ -194,11 +198,15 @@ class Planner:
         extent_count: ExtentCount,
         adt_registry=None,
         system_catalog=None,
+        page_size: int = 4096,
     ) -> None:
         self.schema = schema
         self.indexes = indexes
         self.extent_count = extent_count
         self.adt_registry = adt_registry
+        #: Storage page size, used by the cost model to convert ANALYZE
+        #: byte counts into estimated pages read.
+        self.page_size = page_size
         #: Optional :class:`~repro.obs.sysviews.SystemCatalog`; when a
         #: query targets one of its views the planner short-circuits to a
         #: SystemScan (duck-typed — no import, the obs layer already
@@ -213,16 +221,24 @@ class Planner:
         exclude_classes: Sequence[str] = (),
         facts=None,
         stats=None,
+        downgrade_hint=None,
     ) -> Plan:
         """Choose an access path.
 
         ``stats`` is an optional ANALYZE
         :class:`~repro.obs.stats.StatisticsCatalog` (duck-typed, like
-        the system catalog).  It is *inert facts* for now: the plan
-        notes record the measured cardinality next to the live extent
-        count, but access-path choice still runs on the live counts —
-        the cost model that trades measured selectivities against scan
-        costs is the next ROADMAP item and will consume this argument.
+        the system catalog).  When present and fresh, access-path
+        selection runs through :class:`~repro.query.cost.CostModel` —
+        every candidate costed in estimated pages + rows from the
+        catalog's cardinalities and histograms, cheapest wins.  When the
+        catalog is missing, stale (``stale_reason``) or incomplete, the
+        planner falls back to its live-count heuristics; either way the
+        resulting :class:`~repro.query.cost.CostDecision` rides on
+        ``plan.cost`` for EXPLAIN and the plan cache.
+
+        ``downgrade_hint`` (bool or ``callable(scope) -> bool``) tells
+        the cost model that the executor would downgrade index probes to
+        extent scans (live snapshot version entries in scope).
         """
         # System statistics views bypass schema validation entirely: they
         # are not classes, have no hierarchy, no extents and no indexes.
@@ -260,6 +276,49 @@ class Planner:
             )
         scan_cost = float(sum(self.extent_count(cls) for cls in scope))
 
+        base_notes: List[str] = []
+        if pruned:
+            base_notes.append(
+                "analysis pruned %s from scope (predicate statically "
+                "unsatisfiable there)" % ", ".join(pruned)
+            )
+        if stats is not None:
+            analyzed = [
+                rows
+                for rows in (stats.class_rows(cls) for cls in scope)
+                if rows is not None
+            ]
+            if analyzed:
+                base_notes.append(
+                    "stats: ANALYZE measured %d row(s) in scope "
+                    "(schema v%d) vs live extent count %d"
+                    % (sum(analyzed), stats.schema_version, int(scan_cost))
+                )
+
+        decision = None
+        if stats is not None:
+            decision = self._cost_decision(query, scope, facts, stats, downgrade_hint)
+        if decision is not None and decision.mode == "statistics":
+            return self._plan_from_decision(query, scope, decision, base_notes)
+        if decision is not None:
+            base_notes.append(
+                "cost model declined: %s — using live-count heuristics"
+                % decision.reason
+            )
+
+        plan = self._heuristic_plan(query, scope, facts, scan_cost, base_notes)
+        plan.cost = decision
+        return plan
+
+    def _heuristic_plan(
+        self,
+        query: Query,
+        scope: Set[str],
+        facts,
+        scan_cost: float,
+        notes: List[str],
+    ) -> Plan:
+        """Live-count access-path selection (the pre-ANALYZE rules)."""
         best: Optional[Tuple[float, AccessPath, List[Expr]]] = None
         predicates = conjuncts(query.where)
         for position, predicate in enumerate(predicates):
@@ -283,24 +342,6 @@ class Planner:
                 # the residual keeps every conjunct.
                 best = (cost, access, list(predicates))
 
-        notes: List[str] = []
-        if pruned:
-            notes.append(
-                "analysis pruned %s from scope (predicate statically "
-                "unsatisfiable there)" % ", ".join(pruned)
-            )
-        if stats is not None:
-            analyzed = [
-                rows
-                for rows in (stats.class_rows(cls) for cls in scope)
-                if rows is not None
-            ]
-            if analyzed:
-                notes.append(
-                    "stats: ANALYZE measured %d row(s) in scope "
-                    "(schema v%d) vs live extent count %d"
-                    % (sum(analyzed), stats.schema_version, int(scan_cost))
-                )
         if best is not None and best[0] < scan_cost:
             cost, access, residual_list = best
             residual = _and_together(residual_list)
@@ -322,6 +363,64 @@ class Planner:
             )
             return Plan(query, scope, ordered, query.where, scan_cost, notes)
         return Plan(query, scope, ExtentScan(sorted(scope)), query.where, scan_cost, notes)
+
+    # -- cost-model path ---------------------------------------------------
+
+    def _cost_decision(
+        self, query: Query, scope: Set[str], facts, stats, downgrade_hint
+    ):
+        """Run the cost model, or explain why it must stand down."""
+        from .cost import CostDecision, CostModel
+
+        schema_version = getattr(self.schema, "version", 0)
+        index_epoch = getattr(self.indexes, "epoch", 0)
+        stale = stats.stale_reason(schema_version, index_epoch)
+        if stale is not None:
+            return CostDecision.heuristic(
+                "statistics are stale (%s)" % stale,
+                stats.schema_version,
+                stats.index_epoch,
+                stale_reason=stale,
+            )
+        model = CostModel(
+            self.schema,
+            self.indexes,
+            stats,
+            page_size=self.page_size,
+            adt_registry=self.adt_registry,
+        )
+        if callable(downgrade_hint):
+            downgrade = bool(downgrade_hint(scope))
+        else:
+            downgrade = bool(downgrade_hint)
+        return model.decide(
+            query,
+            scope,
+            facts=facts,
+            ordered=self._ordered_scan_candidate(query, scope),
+            downgrade=downgrade,
+        )
+
+    def _plan_from_decision(
+        self, query: Query, scope: Set[str], decision, notes: List[str]
+    ) -> Plan:
+        """Materialize the cost model's winning candidate as a Plan."""
+        chosen = decision.chosen
+        notes = list(notes)
+        notes.append(
+            "cost: statistics model chose %s (total %.1f) among %d "
+            "candidate(s)"
+            % (chosen.access.description, chosen.total, len(decision.candidates))
+        )
+        if chosen.note:
+            notes.append("cost: %s" % chosen.note)
+        if chosen.residual is None:
+            residual = query.where
+        else:
+            residual = _and_together(chosen.residual)
+        plan = Plan(query, scope, chosen.access, residual, chosen.rows, notes)
+        plan.cost = decision
+        return plan
 
     # -- internals -------------------------------------------------------------
 

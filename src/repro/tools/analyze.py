@@ -10,6 +10,12 @@ SysClassStat`` — sees it without re-scanning.
 ``--json FILE`` additionally writes the raw
 :class:`~repro.obs.stats.StatisticsCatalog` payload (the exact dict
 that is persisted) for CI artifacts and offline diffing.
+
+``--explain FILE`` (demo only) is the CI plan-quality smoke: after
+ANALYZE it EXPLAINs a fixed query set, asserts every decision came from
+the statistics cost model with the expected access path, and writes the
+rendered ``-- cost --`` output to FILE for artifact upload.  Exits
+non-zero when the optimizer stopped making stats-driven choices.
 """
 
 from __future__ import annotations
@@ -17,7 +23,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..database import Database
 
@@ -83,6 +89,42 @@ def render_catalog(catalog) -> str:
     return "\n".join(lines)
 
 
+#: The plan-quality smoke's fixed query set against the monitor demo
+#: workload (64 Vehicles, weight-indexed): (source, expected access-path
+#: description fragment).  A selective indexed equality must probe, an
+#: unselective range and an unindexed equality must scan.
+EXPLAIN_SMOKE_QUERIES = (
+    ("SELECT v FROM Vehicle v WHERE v.weight = 910", "index-eq("),
+    ("SELECT v FROM Vehicle v WHERE v.weight >= 900", "scan("),
+    ("SELECT v FROM Vehicle v WHERE v.color = 'red'", "scan("),
+)
+
+
+def run_explain_smoke(db) -> "Tuple[str, List[str]]":
+    """EXPLAIN the fixed query set; return (rendered output, failures)."""
+    sections: List[str] = []
+    failures: List[str] = []
+    for source, expected in EXPLAIN_SMOKE_QUERIES:
+        explain = db.explain(source)
+        sections.append("$ EXPLAIN %s\n%s" % (source, explain.render()))
+        decision = getattr(explain.plan, "cost", None)
+        if decision is None or decision.mode != "statistics":
+            failures.append(
+                "%s: expected a statistics-driven decision, got %s"
+                % (
+                    source,
+                    "no cost decision" if decision is None
+                    else "heuristic (%s)" % decision.reason,
+                )
+            )
+        if expected not in explain.plan.access.description:
+            failures.append(
+                "%s: expected access matching %r, cost model chose %s"
+                % (source, expected, explain.plan.access.description)
+            )
+    return "\n\n".join(sections) + "\n", failures
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.analyze",
@@ -100,7 +142,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="FILE",
         help="also write the raw statistics catalog payload as JSON",
     )
+    parser.add_argument(
+        "--explain",
+        metavar="FILE",
+        help="(with --demo) EXPLAIN a fixed query set after ANALYZE, "
+        "assert statistics-driven plan choices, write the output to FILE",
+    )
     args = parser.parse_args(argv)
+    if args.explain and not args.demo:
+        parser.error("--explain requires --demo (the fixed query set "
+                     "targets the demo workload)")
 
     if args.demo:
         from .monitor import build_demo_database
@@ -116,6 +167,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                 json.dump(catalog.to_dict(), handle, indent=2, sort_keys=True)
                 handle.write("\n")
             print("\nwrote %s" % args.json)
+        if args.explain:
+            output, failures = run_explain_smoke(db)
+            with open(args.explain, "w", encoding="utf-8") as handle:
+                handle.write(output)
+            print(
+                "\nplan-quality smoke: %d queries explained, wrote %s"
+                % (len(EXPLAIN_SMOKE_QUERIES), args.explain)
+            )
+            if failures:
+                for failure in failures:
+                    print("PLAN-QUALITY FAILURE: %s" % failure, file=sys.stderr)
+                return 1
     except BrokenPipeError:
         # Downstream reader (head, grep -m, a closed pager) went away.
         sys.stderr.close()

@@ -51,6 +51,7 @@ COST_PREFIXES = (
     "server.requests",
     "server.rows_streamed",
     "query.plan_cache.",
+    "query.cost.",
     "rewrite.",
     "txn.snapshot.",
     "wal.group_commit.",
@@ -167,6 +168,66 @@ def compare_dirs(
     return findings
 
 
+def list_rows(
+    baseline_dir: str, fresh_dir: str
+) -> List[Tuple[str, str, Optional[float], Optional[float]]]:
+    """Every gated counter's (bench, metric, baseline, fresh) pair.
+
+    Unlike :func:`compare_dirs` this reports *all* counters — steady
+    ones included — so drift inside the tolerance band stays visible on
+    green runs.  A ``None`` side means the counter (or the artifact)
+    exists only on the other side.
+    """
+    rows: List[Tuple[str, str, Optional[float], Optional[float]]] = []
+    base_paths = dict(_artifacts(baseline_dir)) if os.path.isdir(baseline_dir) else {}
+    fresh_paths = dict(_artifacts(fresh_dir)) if os.path.isdir(fresh_dir) else {}
+    for name in sorted(set(base_paths) | set(fresh_paths)):
+        bench = name[len("BENCH_") : -len(".json")]
+        sides: List[Dict[str, float]] = []
+        for paths in (base_paths, fresh_paths):
+            path = paths.get(name)
+            if path is None:
+                sides.append({})
+                continue
+            with open(path, "r", encoding="utf-8") as handle:
+                sides.append(_gated_metrics(json.load(handle)))
+        base_metrics, fresh_metrics = sides
+        for metric in sorted(set(base_metrics) | set(fresh_metrics)):
+            rows.append(
+                (bench, metric, base_metrics.get(metric), fresh_metrics.get(metric))
+            )
+    return rows
+
+
+def render_markdown_deltas(
+    rows: List[Tuple[str, str, Optional[float], Optional[float]]]
+) -> str:
+    """The ``--list`` table as GitHub-flavored markdown for step summaries."""
+    def cell(value: Optional[float]) -> str:
+        return "%g" % value if value is not None else "—"
+
+    lines = [
+        "### benchgate counter deltas (baseline vs fresh)",
+        "",
+        "| bench | counter | baseline | fresh | delta |",
+        "| --- | --- | ---: | ---: | ---: |",
+    ]
+    for bench, metric, base, fresh in rows:
+        if base is None or fresh is None:
+            delta = "n/a"
+        elif base == 0:
+            delta = "+inf" if fresh else "0.0%"
+        else:
+            delta = "%+.1f%%" % (100.0 * (fresh - base) / base)
+        lines.append(
+            "| %s | %s | %s | %s | %s |"
+            % (bench, metric, cell(base), cell(fresh), delta)
+        )
+    if not rows:
+        lines.append("| (no gated counters found) | | | | |")
+    return "\n".join(lines)
+
+
 def update_baselines(baseline_dir: str, fresh_dir: str) -> List[str]:
     """Copy every fresh artifact over its baseline; returns names written."""
     os.makedirs(baseline_dir, exist_ok=True)
@@ -222,7 +283,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="copy fresh artifacts over the baselines instead of comparing",
     )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_deltas",
+        help="print every gated counter's baseline-vs-fresh delta as a "
+        "markdown table (appended to $GITHUB_STEP_SUMMARY when set) "
+        "instead of gating",
+    )
     args = parser.parse_args(argv)
+
+    if args.list_deltas:
+        table = render_markdown_deltas(list_rows(args.baseline, args.fresh))
+        summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+        if summary_path:
+            with open(summary_path, "a", encoding="utf-8") as handle:
+                handle.write(table + "\n")
+        try:
+            print(table)
+        except BrokenPipeError:
+            sys.stderr.close()  # downstream reader (head, pager) went away
+        return 0
 
     if args.update:
         for name in update_baselines(args.baseline, args.fresh):

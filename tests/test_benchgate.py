@@ -96,6 +96,72 @@ class TestCompare:
         assert loud[0].metric == "ms:scan"
 
 
+class TestListDeltas:
+    def test_list_rows_include_steady_counters(self, tmp_path):
+        _write_artifact(str(tmp_path / "base"), "e1", BASE_METRICS)
+        fresh = dict(BASE_METRICS, **{"pager.reads": 1100})
+        _write_artifact(str(tmp_path / "fresh"), "e1", fresh)
+        rows = benchgate.list_rows(str(tmp_path / "base"), str(tmp_path / "fresh"))
+        # Steady counters appear too — drift under tolerance stays visible.
+        assert ("e1", "wal.appends", 5000.0, 5000.0) in rows
+        assert ("e1", "pager.reads", 1000.0, 1100.0) in rows
+        # Non-gated counters (buffer.hits) stay out of the table.
+        assert not any(metric == "buffer.hits" for _, metric, _, _ in rows)
+
+    def test_list_rows_mark_one_sided_counters(self, tmp_path):
+        _write_artifact(str(tmp_path / "base"), "e1", {"pager.reads": 10})
+        _write_artifact(
+            str(tmp_path / "fresh"), "e1", {"query.cost.candidates": 4}
+        )
+        rows = benchgate.list_rows(str(tmp_path / "base"), str(tmp_path / "fresh"))
+        assert ("e1", "pager.reads", 10.0, None) in rows
+        assert ("e1", "query.cost.candidates", None, 4.0) in rows
+
+    def test_markdown_render_deltas(self):
+        rows = [
+            ("e1", "pager.reads", 1000.0, 1100.0),
+            ("e1", "query.cost.candidates", None, 4.0),
+            ("e1", "wal.appends", 0.0, 7.0),
+        ]
+        table = benchgate.render_markdown_deltas(rows)
+        assert table.startswith("### benchgate counter deltas")
+        assert "| e1 | pager.reads | 1000 | 1100 | +10.0% |" in table
+        assert "| e1 | query.cost.candidates | — | 4 | n/a |" in table
+        assert "| e1 | wal.appends | 0 | 7 | +inf |" in table
+
+    def test_cli_list_prints_and_appends_step_summary(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        base_dir = str(tmp_path / "base")
+        fresh_dir = str(tmp_path / "fresh")
+        _write_artifact(base_dir, "e1", BASE_METRICS)
+        # A large regression must NOT fail --list: it reports, not gates.
+        _write_artifact(fresh_dir, "e1", dict(BASE_METRICS, **{"pager.reads": 9000}))
+        summary = tmp_path / "step-summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        assert (
+            benchgate.main(["--baseline", base_dir, "--fresh", fresh_dir, "--list"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "benchgate counter deltas" in out
+        assert "+800.0%" in out
+        assert "benchgate counter deltas" in summary.read_text()
+
+    def test_cli_list_without_step_summary_env(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        base_dir = str(tmp_path / "base")
+        _write_artifact(base_dir, "e1", BASE_METRICS)
+        _write_artifact(str(tmp_path / "fresh"), "e1", BASE_METRICS)
+        assert (
+            benchgate.main(
+                ["--baseline", base_dir, "--fresh", str(tmp_path / "fresh"), "--list"]
+            )
+            == 0
+        )
+        assert "+0.0%" in capsys.readouterr().out
+
+
 class TestCli:
     def test_exit_codes(self, tmp_path, capsys):
         base_dir = str(tmp_path / "base")

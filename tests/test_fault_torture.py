@@ -27,8 +27,9 @@ from repro.storage.page import SlottedPage
 
 #: The fixed seed matrix CI always runs, plus an optional extra seed
 #: derived from the CI run number (FAULT_TORTURE_SEED) so every CI run
-#: explores one new point of the space.
-TORTURE_SEEDS = list(range(24))
+#: explores one new point of the space.  FAULT_TORTURE_SEED_COUNT widens
+#: the fixed matrix (the weekly CI sweep runs 64 seeds instead of 24).
+TORTURE_SEEDS = list(range(int(os.environ.get("FAULT_TORTURE_SEED_COUNT", "24"))))
 _extra = os.environ.get("FAULT_TORTURE_SEED")
 if _extra is not None:
     TORTURE_SEEDS.append(int(_extra))
